@@ -1,0 +1,48 @@
+//! Figs. 7/9 bench: per-snapshot ingestion cost of RAW, SHAHED and SPATE
+//! (compression + incremence, as the paper defines ingestion time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spate_bench::{build_frameworks, BenchConfig};
+use spate_core::framework::ExplorationFramework;
+use telco_trace::Snapshot;
+
+fn config() -> BenchConfig {
+    BenchConfig {
+        scale: 1.0 / 128.0,
+        days: 1,
+        throttled: false, // CPU cost only; the repro binary measures with I/O
+    }
+}
+
+fn snapshots() -> Vec<Snapshot> {
+    // A busy stretch of the day.
+    config().generator().skip(20).take(8).collect()
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let snaps = snapshots();
+    let mut group = c.benchmark_group("ingestion/per_snapshot");
+    group.sample_size(10);
+
+    for name in ["RAW", "SHAHED", "SPATE"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &snaps, |b, snaps| {
+            b.iter_with_setup(
+                || build_frameworks(&config()).0,
+                |mut fws| {
+                    let fw: &mut dyn ExplorationFramework = match name {
+                        "RAW" => &mut fws.raw,
+                        "SHAHED" => &mut fws.shahed,
+                        _ => &mut fws.spate,
+                    };
+                    for s in snaps {
+                        fw.ingest(s);
+                    }
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table I bench: compression / decompression of one 30-minute snapshot
+//! per codec family (GZIP-, 7z-, Snappy-, Zstd-class).
+
+use codecs::table1_codecs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spate_bench::{setup::generate_snapshots, BenchConfig};
+
+fn config() -> BenchConfig {
+    BenchConfig {
+        scale: 1.0 / 128.0,
+        days: 1,
+        throttled: false,
+    }
+}
+
+fn bench_compress(c: &mut Criterion) {
+    // A representative mid-day snapshot.
+    let snaps = generate_snapshots(&config(), 25);
+    let raw = snaps.last().unwrap().to_bytes();
+
+    let mut group = c.benchmark_group("table1/compress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    for codec in table1_codecs() {
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &raw, |b, raw| {
+            b.iter(|| codec.compress(raw))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let snaps = generate_snapshots(&config(), 25);
+    let raw = snaps.last().unwrap().to_bytes();
+
+    let mut group = c.benchmark_group("table1/decompress");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    for codec in table1_codecs() {
+        let packed = codec.compress(&raw);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &packed,
+            |b, packed| b.iter(|| codec.decompress(packed).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 12 bench: the heavy engine-parallelized tasks T6–T8. These are
+//! CPU-bound — the paper's point is that all three frameworks land close
+//! together once decompression is amortized into the first pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spate_bench::setup::ingest_all;
+use spate_bench::{build_frameworks, BenchConfig, Frameworks};
+use spate_core::framework::ExplorationFramework;
+use spate_core::tasks;
+use telco_trace::time::EpochId;
+
+fn config() -> BenchConfig {
+    BenchConfig {
+        scale: 1.0 / 256.0,
+        days: 1,
+        throttled: true,
+    }
+}
+
+fn setup() -> Frameworks {
+    let cfg = config();
+    let (mut fws, mut generator) = build_frameworks(&cfg);
+    ingest_all(&mut fws, &mut generator, 40);
+    fws
+}
+
+fn for_each_framework(
+    c: &mut Criterion,
+    group_name: &str,
+    fws: &Frameworks,
+    mut task: impl FnMut(&dyn ExplorationFramework),
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (name, fw) in ["RAW", "SHAHED", "SPATE"].iter().zip(fws.iter()) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &fw, |b, fw| {
+            b.iter(|| task(*fw))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tasks(c: &mut Criterion) {
+    let fws = setup();
+    let (w0, w1) = (EpochId(8), EpochId(39));
+
+    for_each_framework(c, "fig12/t6_statistics", &fws, |fw| {
+        tasks::t6_statistics(fw, w0, w1);
+    });
+    for_each_framework(c, "fig12/t7_clustering", &fws, |fw| {
+        tasks::t7_clustering(fw, w0, w1, 8);
+    });
+    for_each_framework(c, "fig12/t8_regression", &fws, |fw| {
+        tasks::t8_regression(fw, w0, w1);
+    });
+}
+
+criterion_group!(benches, bench_tasks);
+criterion_main!(benches);

@@ -1,0 +1,395 @@
+//! The experiment drivers, one per paper artifact.
+
+use crate::setup::{build_frameworks, ingest_all, BenchConfig, Frameworks};
+use codecs::table1_codecs as codec_list;
+use spate_core::framework::ExplorationFramework;
+use spate_core::tasks;
+use std::time::Instant;
+use telco_trace::entropy::EntropyProfile;
+use telco_trace::schema::{cdr, cell, nms};
+use telco_trace::time::{DayPeriod, EpochId, Weekday, EPOCHS_PER_DAY};
+
+/// Names of the compared frameworks, in paper order.
+pub const FRAMEWORK_NAMES: [&str; 3] = ["RAW", "SHAHED", "SPATE"];
+
+// ---------------------------------------------------------------- Fig. 4
+
+/// Per-attribute entropy of the three file types.
+#[derive(Debug)]
+pub struct EntropyReport {
+    pub cdr: EntropyProfile,
+    pub nms: EntropyProfile,
+    pub cell: EntropyProfile,
+}
+
+/// Fig. 4: "the entropy of each attribute in CDR data, NMS data, and CELL
+/// data". Analyzes one generated day.
+pub fn fig4_entropy(config: &BenchConfig) -> EntropyReport {
+    let mut generator = config.generator();
+    let layout = generator.layout().clone();
+    let mut cdr_rows = Vec::new();
+    let mut nms_rows = Vec::new();
+    for _ in 0..EPOCHS_PER_DAY {
+        let Some(snap) = generator.next_snapshot() else {
+            break;
+        };
+        cdr_rows.extend(snap.cdr);
+        nms_rows.extend(snap.nms);
+    }
+    EntropyReport {
+        cdr: EntropyProfile::of(&cdr_rows, cdr::WIDTH),
+        nms: EntropyProfile::of(&nms_rows, nms::WIDTH),
+        cell: EntropyProfile::of(&layout.to_records(), cell::WIDTH),
+    }
+}
+
+// --------------------------------------------------------------- Table I
+
+/// One codec's measured row of Table I.
+#[derive(Debug, Clone)]
+pub struct CodecRow {
+    pub name: &'static str,
+    /// Compression ratio `r_c = S / S_c`.
+    pub ratio: f64,
+    /// Mean compression time per snapshot, seconds. As in the paper, this
+    /// includes the CPU-bound serialization performed in each compression
+    /// round ("such as parsing").
+    pub tc1_s: f64,
+    /// Mean decompression time per snapshot, seconds.
+    pub tc2_s: f64,
+}
+
+/// Table I: lossless compression libraries over `n_snapshots` mid-trace
+/// snapshots (the paper used 200 snapshots of its real trace).
+pub fn table1_codecs(config: &BenchConfig, n_snapshots: usize) -> Vec<CodecRow> {
+    let mut generator = config.generator();
+    // Skip the first quiet night so snapshots carry daytime volume.
+    for _ in 0..16 {
+        generator.next_snapshot();
+    }
+    let snaps: Vec<Vec<u8>> = (&mut generator)
+        .take(n_snapshots)
+        .map(|s| s.to_bytes())
+        .collect();
+
+    codec_list()
+        .into_iter()
+        .map(|codec| {
+            let mut raw_total = 0usize;
+            let mut packed_total = 0usize;
+            let mut tc1 = 0.0;
+            let mut tc2 = 0.0;
+            for raw in &snaps {
+                let t0 = Instant::now();
+                // The per-round CPU work: re-serialize (parse-equivalent) +
+                // compress, matching the paper's measured pipeline.
+                let packed = codec.compress(raw);
+                tc1 += t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let unpacked = codec.decompress(&packed).expect("round trip");
+                tc2 += t0.elapsed().as_secs_f64();
+                assert_eq!(unpacked.len(), raw.len());
+                raw_total += raw.len();
+                packed_total += packed.len();
+            }
+            let n = snaps.len() as f64;
+            CodecRow {
+                name: codec.name(),
+                ratio: raw_total as f64 / packed_total as f64,
+                tc1_s: tc1 / n,
+                tc2_s: tc2 / n,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ Figs. 7-10
+
+/// Ingestion time and disk space, partitioned by day period and weekday.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Mean ingestion seconds per snapshot, `[RAW, SHAHED, SPATE]`.
+    pub time_per_period: Vec<(DayPeriod, [f64; 3])>,
+    pub time_per_weekday: Vec<(Weekday, [f64; 3])>,
+    /// Stored bytes attributed to each partition (data + proportional
+    /// index share).
+    pub space_per_period: Vec<(DayPeriod, [u64; 3])>,
+    pub space_per_weekday: Vec<(Weekday, [u64; 3])>,
+    /// Whole-dataset totals (§VIII: 0.49 GB vs 5.37 GB vs 5.32 GB).
+    pub total_space: [u64; 3],
+    pub total_raw_bytes: u64,
+}
+
+/// Figs. 7–10: ingest the whole configured trace into all three
+/// frameworks, recording per-snapshot cost and final space.
+pub fn ingest_experiment(config: &BenchConfig) -> IngestReport {
+    let (mut fws, mut generator) = build_frameworks(config);
+
+    struct Acc {
+        secs: [f64; 3],
+        stored: [u64; 3],
+        raw: u64,
+        n: u64,
+    }
+    impl Acc {
+        fn new() -> Self {
+            Acc {
+                secs: [0.0; 3],
+                stored: [0; 3],
+                raw: 0,
+                n: 0,
+            }
+        }
+    }
+    let mut by_period: Vec<(DayPeriod, Acc)> =
+        DayPeriod::ALL.iter().map(|&p| (p, Acc::new())).collect();
+    let mut by_weekday: Vec<(Weekday, Acc)> =
+        Weekday::ALL.iter().map(|&w| (w, Acc::new())).collect();
+    let mut total_raw = 0u64;
+
+    while let Some(snapshot) = generator.next_snapshot() {
+        let stats = [
+            fws.raw.ingest(&snapshot),
+            fws.shahed.ingest(&snapshot),
+            fws.spate.ingest(&snapshot),
+        ];
+        total_raw += stats[0].raw_bytes;
+        let period = snapshot.epoch.day_period();
+        let weekday = snapshot.epoch.weekday();
+        for acc in [
+            &mut by_period.iter_mut().find(|(p, _)| *p == period).unwrap().1,
+            &mut by_weekday.iter_mut().find(|(w, _)| *w == weekday).unwrap().1,
+        ] {
+            for (i, st) in stats.iter().enumerate() {
+                acc.secs[i] += st.seconds;
+                acc.stored[i] += st.stored_bytes;
+            }
+            acc.raw += stats[0].raw_bytes;
+            acc.n += 1;
+        }
+    }
+    fws.shahed.finalize();
+
+    // Index bytes attributed proportionally to a partition's raw share.
+    let spaces: Vec<_> = fws.iter().iter().map(|f| f.space()).collect();
+    let index_bytes: [u64; 3] = [
+        spaces[0].index_bytes,
+        spaces[1].index_bytes,
+        spaces[2].index_bytes,
+    ];
+    let attribute = |acc: &Acc| -> [u64; 3] {
+        let share = if total_raw == 0 {
+            0.0
+        } else {
+            acc.raw as f64 / total_raw as f64
+        };
+        [
+            acc.stored[0] + (index_bytes[0] as f64 * share) as u64,
+            acc.stored[1] + (index_bytes[1] as f64 * share) as u64,
+            acc.stored[2] + (index_bytes[2] as f64 * share) as u64,
+        ]
+    };
+    let mean = |acc: &Acc| -> [f64; 3] {
+        let n = acc.n.max(1) as f64;
+        [acc.secs[0] / n, acc.secs[1] / n, acc.secs[2] / n]
+    };
+
+    IngestReport {
+        time_per_period: by_period.iter().map(|(p, a)| (*p, mean(a))).collect(),
+        time_per_weekday: by_weekday.iter().map(|(w, a)| (*w, mean(a))).collect(),
+        space_per_period: by_period.iter().map(|(p, a)| (*p, attribute(a))).collect(),
+        space_per_weekday: by_weekday.iter().map(|(w, a)| (*w, attribute(a))).collect(),
+        total_space: [
+            spaces[0].total(),
+            spaces[1].total(),
+            spaces[2].total(),
+        ],
+        total_raw_bytes: total_raw,
+    }
+}
+
+// ----------------------------------------------------------- Figs. 11-12
+
+/// Response time of every task on every framework.
+#[derive(Debug)]
+pub struct ResponseReport {
+    /// `(task id, [RAW, SHAHED, SPATE] seconds)`, T1..T8 in order.
+    pub tasks: Vec<(&'static str, [f64; 3])>,
+}
+
+/// Figs. 11–12: run T1–T8 on all frameworks over the ingested trace.
+///
+/// Windows follow the paper's usage: point lookups and scans over a
+/// mid-trace business day, the quadratic join over a morning window, the
+/// heavy analytics over two days.
+pub fn response_experiment(config: &BenchConfig, fws: &Frameworks) -> ResponseReport {
+    assert!(config.days >= 5, "response windows need at least 5 trace days");
+    let day4 = 4 * EPOCHS_PER_DAY; // Friday
+    let t1_epoch = EpochId(day4 + 24); // Friday 12:00
+    let day_window = (EpochId(day4), EpochId(day4 + EPOCHS_PER_DAY - 1));
+    let join_window = (EpochId(day4 + 14), EpochId(day4 + 35)); // Friday 07:00-18:00
+    let heavy_window = (EpochId(3 * EPOCHS_PER_DAY), EpochId(day4 + EPOCHS_PER_DAY - 1));
+
+    let mut rows: Vec<(&'static str, [f64; 3])> = Vec::new();
+    // Each task behaves like a fresh analytics job: the page cache is
+    // dropped before it starts (in-task re-reads still benefit — that is
+    // T4's mechanism). A first untimed pass per task warms the process
+    // allocator so first-touch page faults don't bias whichever framework
+    // happens to run first.
+    let drop_all = |fws: &Frameworks| {
+        fws.raw.store().dfs().drop_caches();
+        fws.shahed.store().dfs().drop_caches();
+        fws.spate.store().dfs().drop_caches();
+    };
+    let run = |f: &mut dyn FnMut(&dyn ExplorationFramework) -> f64,
+               fws: &Frameworks|
+     -> [f64; 3] {
+        let [raw, shahed, spate] = fws.iter();
+        for fw in [raw, shahed, spate] {
+            drop_all(fws);
+            let _ = f(fw); // warm-up, untimed
+        }
+        drop_all(fws);
+        let a = f(raw);
+        drop_all(fws);
+        let b = f(shahed);
+        drop_all(fws);
+        let c = f(spate);
+        [a, b, c]
+    };
+
+    rows.push((
+        "T1 equality",
+        run(&mut |fw| tasks::t1_equality(fw, t1_epoch).1, fws),
+    ));
+    rows.push((
+        "T2 range",
+        run(&mut |fw| tasks::t2_range(fw, day_window.0, day_window.1).1, fws),
+    ));
+    rows.push((
+        "T3 aggregate",
+        run(
+            &mut |fw| tasks::t3_aggregate(fw, day_window.0, day_window.1).1,
+            fws,
+        ),
+    ));
+    rows.push((
+        "T4 join",
+        run(
+            &mut |fw| tasks::t4_join(fw, join_window.0, join_window.1).1,
+            fws,
+        ),
+    ));
+    rows.push((
+        "T5 privacy",
+        run(
+            &mut |fw| tasks::t5_privacy(fw, day_window.0, day_window.1, 5).1,
+            fws,
+        ),
+    ));
+    rows.push((
+        "T6 statistics",
+        run(
+            &mut |fw| tasks::t6_statistics(fw, heavy_window.0, heavy_window.1).1,
+            fws,
+        ),
+    ));
+    rows.push((
+        "T7 clustering",
+        run(
+            &mut |fw| tasks::t7_clustering(fw, heavy_window.0, heavy_window.1, 8).1,
+            fws,
+        ),
+    ));
+    rows.push((
+        "T8 regression",
+        run(
+            &mut |fw| tasks::t8_regression(fw, heavy_window.0, heavy_window.1).1,
+            fws,
+        ),
+    ));
+    ResponseReport { tasks: rows }
+}
+
+/// Full pipeline for the response experiment: build, ingest, measure.
+pub fn response_experiment_from_scratch(config: &BenchConfig) -> ResponseReport {
+    let (mut fws, mut generator) = build_frameworks(config);
+    ingest_all(&mut fws, &mut generator, (config.days * EPOCHS_PER_DAY) as usize);
+    response_experiment(config, &fws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> BenchConfig {
+        BenchConfig {
+            scale: 1.0 / 1024.0,
+            days: 7,
+            throttled: false,
+        }
+    }
+
+    #[test]
+    fn fig4_shapes_match_the_paper() {
+        let r = fig4_entropy(&quick_config());
+        // CDR: most attributes below 1 bit, several at zero, a few high.
+        assert!(r.cdr.zero_columns() >= 30);
+        assert!(r.cdr.below(1.0) > cdr::WIDTH / 2);
+        assert!(r.cdr.max() > 4.0);
+        // NMS: counters carry a few bits each.
+        assert!(r.nms.max() > 2.0);
+        assert!(r.nms.per_column.len() == nms::WIDTH);
+        // CELL: low-entropy inventory attributes (paper: up to ~3.5).
+        assert!(r.cell.per_column.len() == cell::WIDTH);
+        assert!(r.cell.max() > 1.0);
+    }
+
+    #[test]
+    fn table1_orderings_match_the_paper() {
+        let rows = table1_codecs(&quick_config(), 4);
+        let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap().clone();
+        let (gzip, seven, snappy, zstd) = (
+            get("gzip-lite"),
+            get("7z-lite"),
+            get("snappy-lite"),
+            get("zstd-lite"),
+        );
+        // Ratio ordering: 7z best, snappy roughly half of the rest.
+        assert!(seven.ratio > gzip.ratio);
+        assert!(seven.ratio > snappy.ratio);
+        assert!(zstd.ratio > snappy.ratio);
+        assert!(snappy.ratio < gzip.ratio * 0.75);
+        // Compression always slower than decompression.
+        for r in &rows {
+            assert!(r.tc1_s > r.tc2_s, "{}: {} vs {}", r.name, r.tc1_s, r.tc2_s);
+        }
+        // Snappy compresses fastest.
+        assert!(snappy.tc1_s < gzip.tc1_s);
+        assert!(snappy.tc1_s < seven.tc1_s);
+    }
+
+    #[test]
+    fn ingest_experiment_shapes() {
+        let config = BenchConfig {
+            scale: 1.0 / 1024.0,
+            days: 7,
+            throttled: false,
+        };
+        let r = ingest_experiment(&config);
+        // Space: SPATE far below RAW and SHAHED, SHAHED ≥ RAW.
+        let [raw, shahed, spate] = r.total_space;
+        assert!(spate * 2 < raw, "spate {spate} raw {raw}");
+        assert!(shahed >= raw);
+        // Every partition shows the same ordering.
+        for (_, s) in &r.space_per_period {
+            assert!(s[2] < s[0], "{s:?}");
+        }
+        for (_, s) in &r.space_per_weekday {
+            assert!(s[2] < s[0], "{s:?}");
+        }
+        // All partitions have data.
+        assert_eq!(r.time_per_period.len(), 4);
+        assert_eq!(r.time_per_weekday.len(), 7);
+    }
+}

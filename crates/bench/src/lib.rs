@@ -1,0 +1,20 @@
+//! Experiment drivers regenerating every table and figure of the SPATE
+//! paper's evaluation. Each driver returns structured rows; the `repro`
+//! binary prints them in the paper's layout, and the criterion benches
+//! wrap the same code paths.
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`fig4_entropy`] | Fig. 4 — per-attribute entropy of CDR/NMS/CELL |
+//! | [`table1_codecs`] | Table I — codec ratio / T_c1 / T_c2 per snapshot |
+//! | [`ingest_experiment`] | Figs. 7–10 — ingestion time & disk space by day period and weekday |
+//! | [`response_experiment`] | Figs. 11–12 — response time of tasks T1–T8 on RAW/SHAHED/SPATE |
+
+pub mod experiments;
+pub mod setup;
+
+pub use experiments::{
+    fig4_entropy, ingest_experiment, response_experiment, table1_codecs, CodecRow,
+    EntropyReport, IngestReport, ResponseReport,
+};
+pub use setup::{build_frameworks, BenchConfig, Frameworks};

@@ -1,0 +1,123 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) used by every container format
+//! in this crate to detect corruption of stored snapshots.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC, the same variant GZIP uses.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 8 slice-by tables; table[0] is the classic byte table.
+struct Tables([[u32; 256]; 8]);
+
+const fn build_tables() -> Tables {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    Tables(t)
+}
+
+static TABLES: Tables = build_tables();
+
+/// Streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the hash. Processes 8 bytes at a time (slice-by-8).
+    pub fn update(&mut self, mut data: &[u8]) {
+        let t = &TABLES.0;
+        let mut crc = self.state;
+        while data.len() >= 8 {
+            let lo = crc ^ u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+            let hi = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
+            crc = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+            data = &data[8..];
+        }
+        for &b in data {
+            crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 131 % 251) as u8).collect();
+        let oneshot = crc32(&data);
+        for chunk in [1usize, 3, 7, 8, 64, 1000] {
+            let mut h = Crc32::new();
+            for part in data.chunks(chunk) {
+                h.update(part);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"telco snapshot 2016-01-22T15:30".to_vec();
+        let before = crc32(&data);
+        data[5] ^= 0x01;
+        assert_ne!(crc32(&data), before);
+    }
+}

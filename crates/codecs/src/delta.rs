@@ -1,0 +1,208 @@
+//! Differential (delta) compression of incremental snapshots.
+//!
+//! The paper's future work (§IX-B): "Differential compression is a topic
+//! we will investigate more carefully in the future as it can reduce the
+//! storage layer overheads in each acquisition cycle." Consecutive telco
+//! snapshots share most of their structure — cell inventory, per-cell base
+//! loads, subscriber vocabulary — so encoding a snapshot *against a
+//! reference* (the previous snapshot, or a periodic anchor) beats encoding
+//! it cold.
+//!
+//! The construction is the `zstd --patch-from` idea on top of this
+//! crate's own machinery: the reference becomes a preset LZ dictionary
+//! over a window large enough to span it, and the payload's matches reach
+//! across into the reference. The container records the reference's CRC so
+//! decompression against the wrong reference fails loudly.
+
+use crate::crc32::crc32;
+use crate::dict::Dictionary;
+use crate::lz77::Lz77Config;
+use crate::varint;
+use crate::zstd_lite::ZstdLite;
+use crate::{Codec, CodecError};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"SPDT";
+
+/// Delta codec: compresses payloads relative to an explicit reference.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaCodec {
+    /// log2 of the LZ window; the usable reference tail is half of it
+    /// (the rest keeps intra-payload matches reachable).
+    window_log: u32,
+}
+
+impl Default for DeltaCodec {
+    fn default() -> Self {
+        // 4 MiB window → 2 MiB reference tail: plenty for scaled
+        // snapshots, and still laptop-cheap matcher state.
+        Self { window_log: 22 }
+    }
+}
+
+impl DeltaCodec {
+    pub fn with_window_log(window_log: u32) -> Self {
+        assert!((16..=26).contains(&window_log));
+        Self { window_log }
+    }
+
+    fn inner_config(&self) -> Lz77Config {
+        Lz77Config {
+            window_log: self.window_log,
+            ..Lz77Config::zstd_class()
+        }
+    }
+
+    /// Usable reference length (the tail of longer references is kept,
+    /// closest to the payload).
+    fn ref_budget(&self) -> usize {
+        1usize << (self.window_log - 1)
+    }
+
+    fn clamp_reference<'a>(&self, reference: &'a [u8]) -> &'a [u8] {
+        let budget = self.ref_budget();
+        if reference.len() > budget {
+            &reference[reference.len() - budget..]
+        } else {
+            reference
+        }
+    }
+
+    fn inner(&self, reference: &[u8]) -> ZstdLite {
+        let clamped = self.clamp_reference(reference);
+        ZstdLite::with_config(self.inner_config())
+            .with_dictionary(Arc::new(Dictionary::from_bytes(clamped.to_vec())))
+    }
+
+    /// Compress `payload` as a delta against `reference`.
+    pub fn compress(&self, reference: &[u8], payload: &[u8]) -> Vec<u8> {
+        let inner = self.inner(reference);
+        let body = inner.compress(payload);
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&crc32(self.clamp_reference(reference)).to_le_bytes());
+        varint::write_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decompress a delta produced against the same `reference`.
+    pub fn decompress(&self, reference: &[u8], packed: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if packed.len() < 8 || &packed[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let stored_ref_crc = u32::from_le_bytes(packed[4..8].try_into().unwrap());
+        let clamped = self.clamp_reference(reference);
+        let actual = crc32(clamped);
+        if actual != stored_ref_crc {
+            return Err(CodecError::ChecksumMismatch {
+                expected: stored_ref_crc,
+                actual,
+            });
+        }
+        let mut pos = 8;
+        let body_len = varint::read_u32(packed, &mut pos)? as usize;
+        if pos + body_len > packed.len() {
+            return Err(CodecError::Truncated);
+        }
+        self.inner(reference).decompress(&packed[pos..pos + body_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GzipLite;
+
+    /// Two "snapshots" sharing most structure, differing in a few fields.
+    fn similar_payloads() -> (Vec<u8>, Vec<u8>) {
+        let make = |epoch: u32| -> Vec<u8> {
+            let mut s = Vec::new();
+            for cell in 0..400u32 {
+                s.extend_from_slice(
+                    format!(
+                        "2016011812{:02},{cell},{},0,{},{},-88,2\n",
+                        epoch % 60,
+                        10 + cell % 7,
+                        (10 + cell % 7) * 60,
+                        (cell % 5) * 1000 + 5000,
+                    )
+                    .as_bytes(),
+                );
+            }
+            s
+        };
+        (make(0), make(30))
+    }
+
+    #[test]
+    fn round_trip_against_reference() {
+        let (reference, payload) = similar_payloads();
+        let delta = DeltaCodec::default();
+        let packed = delta.compress(&reference, &payload);
+        assert_eq!(delta.decompress(&reference, &packed).unwrap(), payload);
+    }
+
+    #[test]
+    fn delta_beats_cold_compression_on_similar_snapshots() {
+        let (reference, payload) = similar_payloads();
+        let delta = DeltaCodec::default();
+        let packed_delta = delta.compress(&reference, &payload);
+        let packed_cold = GzipLite::default().compress(&payload);
+        // These payloads are internally redundant too, so cold compression
+        // is already strong; the delta must still win clearly.
+        assert!(
+            (packed_delta.len() as f64) < packed_cold.len() as f64 * 0.75,
+            "delta {} vs cold {}",
+            packed_delta.len(),
+            packed_cold.len()
+        );
+    }
+
+    #[test]
+    fn wrong_reference_is_rejected() {
+        let (reference, payload) = similar_payloads();
+        let delta = DeltaCodec::default();
+        let packed = delta.compress(&reference, &payload);
+        let mut other = reference.clone();
+        other[10] ^= 1;
+        assert!(matches!(
+            delta.decompress(&other, &packed),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(
+            delta.decompress(&reference, b"JUNKJUNK"),
+            Err(CodecError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn empty_reference_and_payload_edges() {
+        let delta = DeltaCodec::default();
+        // Empty reference degrades to plain compression.
+        let packed = delta.compress(b"", b"some payload bytes");
+        assert_eq!(delta.decompress(b"", &packed).unwrap(), b"some payload bytes");
+        // Empty payload.
+        let packed = delta.compress(b"reference", b"");
+        assert_eq!(delta.decompress(b"reference", &packed).unwrap(), b"");
+    }
+
+    #[test]
+    fn long_references_are_tail_clamped_consistently() {
+        let delta = DeltaCodec::with_window_log(16); // 32 KiB ref budget
+        let reference: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let payload: Vec<u8> = reference[95_000..].to_vec(); // matches the tail
+        let packed = delta.compress(&reference, &payload);
+        assert_eq!(delta.decompress(&reference, &packed).unwrap(), payload);
+        assert!(packed.len() < payload.len() / 3);
+    }
+
+    #[test]
+    fn truncated_container_detected() {
+        let (reference, payload) = similar_payloads();
+        let delta = DeltaCodec::default();
+        let packed = delta.compress(&reference, &payload);
+        assert!(delta.decompress(&reference, &packed[..packed.len() / 2]).is_err());
+        assert!(delta.decompress(&reference, &packed[..6]).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Dictionary training for `zstd-lite`.
+//!
+//! The paper singles out ZSTD's ability to build "domain-specific training
+//! dictionaries" (§IV-B). Telco snapshots are ideal dictionary material:
+//! every 30-minute batch shares schema headers, cell identifiers and flag
+//! vocabulary. Training selects the sample fragments whose byte shingles
+//! recur most across the corpus and concatenates them (most valuable last,
+//! closest to the window) into a preset LZ prefix.
+
+use crate::crc32::crc32;
+use std::collections::HashMap;
+
+const SHINGLE: usize = 8;
+
+/// A trained compression dictionary shared by compressor and decompressor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionary {
+    data: Vec<u8>,
+    id: u32,
+}
+
+impl Dictionary {
+    /// Wrap raw bytes as a dictionary (e.g. loaded from storage).
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        let id = crc32(&data);
+        Self { data, id }
+    }
+
+    /// Train a dictionary of at most `budget` bytes from sample documents.
+    ///
+    /// Samples are split into newline-delimited fragments; each fragment is
+    /// scored by how often its 8-byte shingles appear across the whole
+    /// corpus, normalized by length. The top-scoring distinct fragments are
+    /// concatenated until the budget is filled.
+    pub fn train(samples: &[&[u8]], budget: usize) -> Self {
+        let mut shingle_counts: HashMap<u64, u32> = HashMap::new();
+        for sample in samples {
+            for window in sample.windows(SHINGLE).step_by(4) {
+                let key = u64::from_le_bytes(window.try_into().unwrap());
+                *shingle_counts.entry(key).or_insert(0) += 1;
+            }
+        }
+
+        // Collect distinct fragments with their corpus-wide scores.
+        let mut seen: HashMap<&[u8], ()> = HashMap::new();
+        let mut scored: Vec<(f64, &[u8])> = Vec::new();
+        for sample in samples {
+            for frag in sample.split(|&b| b == b'\n') {
+                if frag.len() < SHINGLE || seen.contains_key(frag) {
+                    continue;
+                }
+                seen.insert(frag, ());
+                let mut score = 0u64;
+                for window in frag.windows(SHINGLE).step_by(4) {
+                    let key = u64::from_le_bytes(window.try_into().unwrap());
+                    score += u64::from(*shingle_counts.get(&key).unwrap_or(&0));
+                }
+                // Normalize per byte so long fragments don't dominate for free.
+                scored.push((score as f64 / frag.len() as f64, frag));
+            }
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+        let mut picked: Vec<&[u8]> = Vec::new();
+        let mut used = 0usize;
+        for (_, frag) in &scored {
+            if used + frag.len() + 1 > budget {
+                continue;
+            }
+            picked.push(frag);
+            used += frag.len() + 1;
+            if used + SHINGLE >= budget {
+                break;
+            }
+        }
+        // Highest-value fragments go last (smallest match distances).
+        picked.reverse();
+        let mut data = Vec::with_capacity(used);
+        for frag in picked {
+            data.extend_from_slice(frag);
+            data.push(b'\n');
+        }
+        Self::from_bytes(data)
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Stable identifier (CRC-32 of the content) stored in containers so a
+    /// decompressor can verify it holds the right dictionary.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_corpus() -> Vec<Vec<u8>> {
+        (0..20u32)
+            .map(|i| {
+                let mut s = Vec::new();
+                for j in 0..50u32 {
+                    s.extend_from_slice(
+                        format!(
+                            "8210000{:03},LTE,success,cell-{:04},up={},down={}\n",
+                            j % 100,
+                            (i * j) % 40,
+                            j * 11,
+                            j * 173
+                        )
+                        .as_bytes(),
+                    );
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_respects_budget() {
+        let corpus = sample_corpus();
+        let refs: Vec<&[u8]> = corpus.iter().map(|v| v.as_slice()).collect();
+        for budget in [64usize, 256, 1024, 4096] {
+            let dict = Dictionary::train(&refs, budget);
+            assert!(dict.len() <= budget, "budget {budget}, got {}", dict.len());
+        }
+    }
+
+    #[test]
+    fn trained_dictionary_contains_common_vocabulary() {
+        let corpus = sample_corpus();
+        let refs: Vec<&[u8]> = corpus.iter().map(|v| v.as_slice()).collect();
+        let dict = Dictionary::train(&refs, 2048);
+        assert!(!dict.is_empty());
+        let text = dict.as_bytes();
+        let contains = |needle: &[u8]| text.windows(needle.len()).any(|w| w == needle);
+        assert!(contains(b"LTE"), "dict should pick up the common token LTE");
+    }
+
+    #[test]
+    fn id_is_content_stable() {
+        let d1 = Dictionary::from_bytes(b"abc".to_vec());
+        let d2 = Dictionary::from_bytes(b"abc".to_vec());
+        let d3 = Dictionary::from_bytes(b"abd".to_vec());
+        assert_eq!(d1.id(), d2.id());
+        assert_ne!(d1.id(), d3.id());
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_dictionary() {
+        let dict = Dictionary::train(&[], 1024);
+        assert!(dict.is_empty());
+        let dict = Dictionary::train(&[b"short".as_slice()], 0);
+        assert!(dict.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Canonical, length-limited Huffman coding with a table-driven decoder.
+//!
+//! Code lengths are derived from symbol frequencies with a classic
+//! heap-built Huffman tree, then clamped to the requested maximum length
+//! with a Kraft-sum repair pass (the zlib approach). Codes are assigned
+//! canonically — sorted by (length, symbol) — so only the length array needs
+//! to be transmitted. Encoded bits are stored reversed so the LSB-first
+//! [`crate::bitio`] stream can be decoded with a single table lookup.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Compute length-limited code lengths from frequencies.
+///
+/// Returns one length per symbol; zero means the symbol is absent. If no
+/// symbol has a nonzero frequency the result is all zeros. A single-symbol
+/// alphabet gets a 1-bit code.
+pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    assert!((1..=15).contains(&max_len));
+    let n = freqs.len();
+    let live: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match live.len() {
+        0 => return lengths,
+        1 => {
+            lengths[live[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Standard heap-built Huffman tree over the live symbols.
+    // Node ids: 0..live.len() are leaves, the rest internal.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = live
+        .iter()
+        .enumerate()
+        .map(|(leaf, &sym)| Reverse((freqs[sym], leaf)))
+        .collect();
+    let mut parent = vec![usize::MAX; live.len() * 2 - 1];
+    let mut next_id = live.len();
+    while heap.len() > 1 {
+        let Reverse((f1, a)) = heap.pop().unwrap();
+        let Reverse((f2, b)) = heap.pop().unwrap();
+        parent[a] = next_id;
+        parent[b] = next_id;
+        heap.push(Reverse((f1 + f2, next_id)));
+        next_id += 1;
+    }
+    let root = next_id - 1;
+
+    // Depth of each leaf = chain length to the root.
+    for (leaf, &sym) in live.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = leaf;
+        while node != root {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth.min(u32::from(max_len)) as u8;
+    }
+
+    enforce_kraft(&mut lengths, freqs, max_len);
+    lengths
+}
+
+/// Repair a clamped length assignment so the Kraft sum does not exceed 1.
+///
+/// Clamping long codes to `max_len` can push the Kraft sum over 1 (an
+/// unrealizable code). Lengthening the cheapest (lowest-frequency) short
+/// codes restores feasibility with minimal cost.
+fn enforce_kraft(lengths: &mut [u8], freqs: &[u64], max_len: u8) {
+    let budget: u64 = 1 << max_len;
+    let kraft = |lengths: &[u8]| -> u64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum()
+    };
+    let mut k = kraft(lengths);
+    if k <= budget {
+        return;
+    }
+    // Symbols ordered by ascending frequency: lengthen the cheapest first.
+    let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    order.sort_by_key(|&i| freqs[i]);
+    'outer: while k > budget {
+        for &i in &order {
+            if lengths[i] < max_len {
+                k -= 1 << (max_len - lengths[i]);
+                lengths[i] += 1;
+                k += 1 << (max_len - lengths[i]);
+                continue 'outer;
+            }
+        }
+        unreachable!("Kraft repair failed: alphabet larger than 2^max_len");
+    }
+}
+
+/// Assign canonical codes (MSB-first numbering) from lengths.
+fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; usize::from(max_len) + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[usize::from(l)] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; usize::from(max_len) + 2];
+    let mut code = 0u32;
+    for bits in 1..=usize::from(max_len) {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[usize::from(l)];
+                next_code[usize::from(l)] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn reverse_bits(code: u32, len: u8) -> u32 {
+    code.reverse_bits() >> (32 - u32::from(len))
+}
+
+/// Canonical Huffman encoder.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    /// Bit-reversed codes ready for LSB-first emission.
+    codes: Vec<u32>,
+    lengths: Vec<u8>,
+}
+
+impl HuffmanEncoder {
+    /// Build an encoder directly from symbol frequencies.
+    pub fn from_frequencies(freqs: &[u64], max_len: u8) -> Self {
+        Self::from_lengths(&build_lengths(freqs, max_len))
+    }
+
+    /// Build an encoder from an existing (transmitted) length array.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let codes = canonical_codes(lengths)
+            .into_iter()
+            .zip(lengths)
+            .map(|(c, &l)| if l == 0 { 0 } else { reverse_bits(c, l) })
+            .collect();
+        Self {
+            codes,
+            lengths: lengths.to_vec(),
+        }
+    }
+
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Emit the code for `sym`. Panics (debug) if `sym` has no code.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, sym: usize) {
+        let len = self.lengths[sym];
+        debug_assert!(len > 0, "encoding symbol {sym} with no assigned code");
+        w.write_bits(self.codes[sym], u32::from(len));
+    }
+
+    /// Cost in bits of encoding `sym` (for size estimation).
+    #[inline]
+    pub fn cost(&self, sym: usize) -> u32 {
+        u32::from(self.lengths[sym])
+    }
+}
+
+/// Table-driven canonical Huffman decoder.
+///
+/// A single table of `2^max_len` entries maps the next `max_len` peeked bits
+/// to `(symbol, length)`.
+#[derive(Debug)]
+pub struct HuffmanDecoder {
+    table: Vec<(u16, u8)>,
+    max_len: u8,
+}
+
+const INVALID: (u16, u8) = (u16::MAX, 0);
+
+impl HuffmanDecoder {
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return Err(CodecError::Corrupt("huffman table with no codes"));
+        }
+        if max_len > 15 {
+            return Err(CodecError::Corrupt("huffman code length > 15"));
+        }
+        // Validate the Kraft inequality before building the table.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum();
+        if kraft > 1u64 << max_len {
+            return Err(CodecError::Corrupt("huffman lengths violate Kraft"));
+        }
+        let codes = canonical_codes(lengths);
+        let mut table = vec![INVALID; 1usize << max_len];
+        for (sym, (&len, code)) in lengths.iter().zip(codes).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let rev = reverse_bits(code, len);
+            let step = 1usize << len;
+            let mut idx = rev as usize;
+            while idx < table.len() {
+                table[idx] = (sym as u16, len);
+                idx += step;
+            }
+        }
+        Ok(Self { table, max_len })
+    }
+
+    /// Decode one symbol from the bit stream.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let peek = r.peek_bits(u32::from(self.max_len));
+        let (sym, len) = self.table[peek as usize];
+        if len == 0 {
+            return Err(CodecError::Corrupt("invalid huffman code"));
+        }
+        r.consume(u32::from(len));
+        Ok(sym)
+    }
+}
+
+/// Serialize a length array as 4-bit nibbles (lengths ≤ 15).
+pub fn write_lengths(out: &mut Vec<u8>, lengths: &[u8]) {
+    crate::varint::write_u32(out, lengths.len() as u32);
+    let mut nibble_hi = false;
+    let mut cur = 0u8;
+    for &l in lengths {
+        debug_assert!(l <= 15);
+        if nibble_hi {
+            out.push(cur | (l << 4));
+        } else {
+            cur = l;
+        }
+        nibble_hi = !nibble_hi;
+    }
+    if nibble_hi {
+        out.push(cur);
+    }
+}
+
+/// Inverse of [`write_lengths`].
+pub fn read_lengths(input: &[u8], pos: &mut usize) -> Result<Vec<u8>, CodecError> {
+    let n = crate::varint::read_u32(input, pos)? as usize;
+    if n > 1 << 20 {
+        return Err(CodecError::Corrupt("huffman alphabet too large"));
+    }
+    let bytes = n.div_ceil(2);
+    if *pos + bytes > input.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut lengths = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = input[*pos + i / 2];
+        lengths.push(if i % 2 == 0 { byte & 0x0F } else { byte >> 4 });
+    }
+    *pos += bytes;
+    Ok(lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_symbols(freqs: &[u64], stream: &[usize], max_len: u8) {
+        let enc = HuffmanEncoder::from_frequencies(freqs, max_len);
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.decode(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_round_trip() {
+        let freqs = [1000u64, 500, 100, 10, 1, 1, 0, 3];
+        let stream: Vec<usize> = (0..200).map(|i| [0, 0, 1, 2, 0, 3, 7, 4, 5, 1][i % 10]).collect();
+        round_trip_symbols(&freqs, &stream, 13);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let freqs = [0u64, 42, 0];
+        let stream = vec![1usize; 50];
+        round_trip_symbols(&freqs, &stream, 13);
+        let lengths = build_lengths(&freqs, 13);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_alphabet_yields_zero_lengths() {
+        assert_eq!(build_lengths(&[0, 0, 0], 13), vec![0, 0, 0]);
+        assert!(HuffmanDecoder::from_lengths(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn skewed_codes_are_shorter_for_frequent_symbols() {
+        let freqs = [10_000u64, 100, 100, 100, 1];
+        let lengths = build_lengths(&freqs, 13);
+        assert!(lengths[0] <= lengths[1]);
+        assert!(lengths[1] <= lengths[4]);
+    }
+
+    #[test]
+    fn length_limit_is_respected_under_extreme_skew() {
+        // Fibonacci-like frequencies force very deep unrestricted trees.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        for max_len in [8u8, 10, 13, 15] {
+            let lengths = build_lengths(&freqs, max_len);
+            assert!(lengths.iter().all(|&l| l <= max_len));
+            // Kraft inequality must hold.
+            let kraft: f64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-i32::from(l)))
+                .sum();
+            assert!(kraft <= 1.0 + 1e-9, "kraft {kraft} for max_len {max_len}");
+            // And it must still decode.
+            let enc = HuffmanEncoder::from_lengths(&lengths);
+            let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+            let mut w = BitWriter::new();
+            for s in 0..freqs.len() {
+                enc.encode(&mut w, s);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for s in 0..freqs.len() {
+                assert_eq!(dec.decode(&mut r).unwrap() as usize, s);
+            }
+        }
+    }
+
+    #[test]
+    fn full_byte_alphabet() {
+        let mut freqs = vec![1u64; 256];
+        freqs[b' ' as usize] = 5000;
+        freqs[b'e' as usize] = 3000;
+        freqs[b'0' as usize] = 2500;
+        let stream: Vec<usize> = (0..=255usize).chain((0..=255).rev()).collect();
+        round_trip_symbols(&freqs, &stream, 13);
+    }
+
+    #[test]
+    fn lengths_serialization_round_trip() {
+        let lengths = vec![0u8, 3, 5, 15, 1, 0, 0, 7, 2];
+        let mut buf = Vec::new();
+        write_lengths(&mut buf, &lengths);
+        let mut pos = 0;
+        assert_eq!(read_lengths(&buf, &mut pos).unwrap(), lengths);
+        assert_eq!(pos, buf.len());
+
+        // Odd and even counts both round-trip.
+        let even = vec![4u8, 4, 4, 4];
+        let mut buf = Vec::new();
+        write_lengths(&mut buf, &even);
+        let mut pos = 0;
+        assert_eq!(read_lengths(&buf, &mut pos).unwrap(), even);
+    }
+
+    #[test]
+    fn decoder_rejects_invalid_kraft() {
+        // Three 1-bit codes cannot coexist.
+        assert!(HuffmanDecoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_bits() {
+        // Kraft-deficient code: symbol 0 has the only code (0b0, 2 bits
+        // would be canonical 00). Bits selecting an unassigned slot error.
+        let lengths = [2u8, 2, 0, 0];
+        let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2); // reversed pattern not covered by any code
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

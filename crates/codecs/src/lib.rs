@@ -1,0 +1,180 @@
+//! From-scratch lossless compression codecs for the SPATE storage layer.
+//!
+//! The SPATE paper (ICDE 2017, §IV) compares four lossless compression
+//! libraries — GZIP, 7z (LZMA), SNAPPY and ZSTD — as candidates for
+//! compressing 30-minute telco snapshots. This crate reimplements one codec
+//! per algorithmic family so that the Table I microbenchmark can be
+//! regenerated without external dependencies:
+//!
+//! * [`GzipLite`] — LZ77 + canonical Huffman, DEFLATE-class ("GZIP").
+//! * [`SevenzLite`] — large-window lazy LZ77 + adaptive binary range coder,
+//!   LZMA-class ("7z"). Best ratio, slowest.
+//! * [`SnappyLite`] — byte-oriented greedy LZ with no entropy stage
+//!   ("SNAPPY"). Fastest, roughly half the ratio of the others.
+//! * [`ZstdLite`] — LZ77 + tANS (FSE) entropy coding with optional trained
+//!   dictionaries ("ZSTD").
+//!
+//! All codecs implement the [`Codec`] trait and are exact: `decompress ∘
+//! compress` is the identity for every byte string (verified by property
+//! tests). Each compressed container embeds a CRC-32 of the original data
+//! which is verified on decompression.
+//!
+//! # Example
+//!
+//! ```
+//! use codecs::{Codec, GzipLite};
+//!
+//! let codec = GzipLite::default();
+//! let data = b"cellid=17,drop=0,drop=0,drop=0,drop=0,cellid=17".repeat(10);
+//! let packed = codec.compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(codec.decompress(&packed).unwrap(), data);
+//! ```
+
+pub mod bitio;
+pub mod crc32;
+pub mod delta;
+pub mod dict;
+pub mod fse;
+pub mod gzip_lite;
+pub mod huffman;
+pub mod lz77;
+pub mod range_coder;
+pub mod sevenz_lite;
+pub mod slots;
+pub mod snappy_lite;
+pub mod varint;
+pub mod zstd_lite;
+
+pub use delta::DeltaCodec;
+pub use dict::Dictionary;
+pub use gzip_lite::GzipLite;
+pub use sevenz_lite::SevenzLite;
+pub use snappy_lite::SnappyLite;
+pub use zstd_lite::ZstdLite;
+
+use std::fmt;
+
+/// Error produced when decompressing malformed or corrupted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The container magic bytes did not match the codec.
+    BadMagic,
+    /// The input ended before the declared payload was fully decoded.
+    Truncated,
+    /// A structural invariant of the stream was violated.
+    Corrupt(&'static str),
+    /// The CRC-32 of the decompressed payload did not match the stored one.
+    ChecksumMismatch { expected: u32, actual: u32 },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad container magic"),
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A lossless, self-contained compression codec.
+///
+/// Implementations are stateless (any per-call state lives on the stack), so
+/// a single codec value can be shared across threads.
+pub trait Codec: Send + Sync {
+    /// Short stable identifier, e.g. `"gzip-lite"`. Used by the storage
+    /// layer to record which codec produced a stored block.
+    fn name(&self) -> &'static str;
+
+    /// Compress `input` into a self-describing container.
+    fn compress(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Decompress a container produced by [`Codec::compress`] of the same
+    /// codec, verifying the embedded checksum.
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
+}
+
+/// The identity codec: stores data without compression.
+///
+/// This is what the paper's RAW baseline uses, and a useful control in
+/// benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Identity;
+
+impl Codec for Identity {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        input.to_vec()
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(input.to_vec())
+    }
+}
+
+/// All codecs evaluated in the paper's Table I, in paper order, behind a
+/// uniform trait object. Useful for sweeps.
+pub fn table1_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(GzipLite::default()),
+        Box::new(SevenzLite::default()),
+        Box::new(SnappyLite::default()),
+        Box::new(ZstdLite::default()),
+    ]
+}
+
+/// Look a codec up by its [`Codec::name`].
+pub fn by_name(name: &str) -> Option<Box<dyn Codec>> {
+    match name {
+        "gzip-lite" => Some(Box::new(GzipLite::default())),
+        "7z-lite" => Some(Box::new(SevenzLite::default())),
+        "snappy-lite" => Some(Box::new(SnappyLite::default())),
+        "zstd-lite" => Some(Box::new(ZstdLite::default())),
+        "identity" => Some(Box::new(Identity)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let c = Identity;
+        let data = b"hello world".to_vec();
+        assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+        assert_eq!(c.name(), "identity");
+    }
+
+    #[test]
+    fn registry_finds_all_table1_codecs() {
+        for codec in table1_codecs() {
+            let found = by_name(codec.name()).expect("codec registered");
+            assert_eq!(found.name(), codec.name());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CodecError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+        assert!(CodecError::Corrupt("x").to_string().contains('x'));
+    }
+}

@@ -1,0 +1,400 @@
+//! Shared LZ77 match finder used by the DEFLATE-, LZMA- and Zstd-class
+//! codecs.
+//!
+//! The matcher is a classic hash-chain design: a rolling 4-byte hash indexes
+//! chains of previous positions inside a sliding window. Codecs differ only
+//! in their [`Lz77Config`] (window size, chain depth, lazy matching) and in
+//! how they entropy-code the resulting [`Token`] stream.
+
+/// Minimum match length. Using 4 keeps the hash exact for the first probe.
+pub const MIN_MATCH: usize = 4;
+
+/// A single LZ77 parse decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// Emit one literal byte.
+    Literal(u8),
+    /// Copy `len` bytes starting `dist` bytes back in the output.
+    Match {
+        /// Match length, `MIN_MATCH ..= config.max_match`.
+        len: u32,
+        /// Backward distance, `1 ..= window size`.
+        dist: u32,
+    },
+}
+
+/// Tuning parameters for the match finder.
+#[derive(Debug, Clone, Copy)]
+pub struct Lz77Config {
+    /// log2 of the sliding window size (distances are bounded by
+    /// `1 << window_log`).
+    pub window_log: u32,
+    /// Maximum number of chain links followed per position. Higher finds
+    /// better matches but costs compression time.
+    pub max_chain: u32,
+    /// Longest allowed match.
+    pub max_match: u32,
+    /// If true, defer a match by one byte when the next position offers a
+    /// longer one (zlib-style lazy matching).
+    pub lazy: bool,
+    /// Stop chain traversal early once a match of this length is found.
+    pub good_enough: u32,
+}
+
+impl Lz77Config {
+    /// DEFLATE-class parameters: 32 KiB window, moderate chains.
+    pub fn deflate_class() -> Self {
+        Self {
+            window_log: 15,
+            max_chain: 64,
+            max_match: 258,
+            lazy: true,
+            good_enough: 64,
+        }
+    }
+
+    /// LZMA-class parameters: 1 MiB window, deep chains, lazy matching.
+    pub fn lzma_class() -> Self {
+        Self {
+            window_log: 20,
+            max_chain: 512,
+            max_match: 259,
+            lazy: true,
+            good_enough: 128,
+        }
+    }
+
+    /// Snappy-class parameters: 64 KiB window, single probe, greedy.
+    pub fn snappy_class() -> Self {
+        Self {
+            window_log: 16,
+            max_chain: 4,
+            max_match: 64,
+            lazy: false,
+            good_enough: 16,
+        }
+    }
+
+    /// Zstd-class parameters: 128 KiB window, moderately deep chains.
+    pub fn zstd_class() -> Self {
+        Self {
+            window_log: 17,
+            max_chain: 192,
+            max_match: 1 << 16,
+            lazy: true,
+            good_enough: 96,
+        }
+    }
+
+    pub fn window_size(&self) -> usize {
+        1usize << self.window_log
+    }
+}
+
+const HASH_LOG: u32 = 16;
+
+#[inline(always)]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_LOG)) as usize
+}
+
+/// Hash-chain LZ77 match finder over a single input buffer.
+///
+/// `prefix_len` bytes at the start of the buffer act as a preset dictionary:
+/// matches may start inside the prefix but tokens are only produced for the
+/// payload that follows it (used by [`crate::ZstdLite`] dictionary mode).
+pub struct MatchFinder<'a> {
+    data: &'a [u8],
+    config: Lz77Config,
+    head: Vec<i32>,
+    prev: Vec<i32>,
+    window_mask: usize,
+}
+
+impl<'a> MatchFinder<'a> {
+    pub fn new(data: &'a [u8], config: Lz77Config) -> Self {
+        let window = config.window_size();
+        Self {
+            data,
+            config,
+            head: vec![-1; 1 << HASH_LOG],
+            prev: vec![-1; window],
+            window_mask: window - 1,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, pos: usize) {
+        if pos + MIN_MATCH > self.data.len() {
+            return;
+        }
+        let h = hash4(self.data, pos);
+        self.prev[pos & self.window_mask] = self.head[h];
+        self.head[h] = pos as i32;
+    }
+
+    /// Length of the common prefix of `data[a..]` and `data[b..]`, capped.
+    #[inline]
+    fn match_len(&self, a: usize, b: usize, cap: usize) -> usize {
+        let data = self.data;
+        let max = cap.min(data.len() - b);
+        let mut n = 0;
+        // Compare 8 bytes at a time.
+        while n + 8 <= max {
+            let x = u64::from_le_bytes(data[a + n..a + n + 8].try_into().unwrap());
+            let y = u64::from_le_bytes(data[b + n..b + n + 8].try_into().unwrap());
+            let xor = x ^ y;
+            if xor != 0 {
+                return n + (xor.trailing_zeros() / 8) as usize;
+            }
+            n += 8;
+        }
+        while n < max && data[a + n] == data[b + n] {
+            n += 1;
+        }
+        n
+    }
+
+    /// Best match for position `pos`, or `None`.
+    fn find_match(&self, pos: usize) -> Option<(u32, u32)> {
+        if pos + MIN_MATCH > self.data.len() {
+            return None;
+        }
+        let min_pos = pos.saturating_sub(self.config.window_size());
+        let mut cand = self.head[hash4(self.data, pos)];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0u32;
+        let cap = self.config.max_match as usize;
+        let mut chain = self.config.max_chain;
+        while cand >= 0 && chain > 0 {
+            let c = cand as usize;
+            if c < min_pos || c >= pos {
+                break;
+            }
+            // Quick reject: check the byte just past the current best.
+            if pos + best_len < self.data.len()
+                && self.data[c + best_len] == self.data[pos + best_len]
+            {
+                let len = self.match_len(c, pos, cap);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = (pos - c) as u32;
+                    if len >= self.config.good_enough as usize || len >= cap {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c & self.window_mask];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len as u32, best_dist))
+        } else {
+            None
+        }
+    }
+
+    /// Parse the payload (everything after `prefix_len`) into tokens.
+    pub fn parse(mut self, prefix_len: usize) -> Vec<Token> {
+        let data = self.data;
+        let n = data.len();
+        // Seed the chains with the dictionary prefix.
+        for pos in 0..prefix_len.min(n) {
+            self.insert(pos);
+        }
+        let mut tokens = Vec::with_capacity((n - prefix_len) / 2 + 16);
+        let mut pos = prefix_len;
+        while pos < n {
+            let here = self.find_match(pos);
+            match here {
+                None => {
+                    tokens.push(Token::Literal(data[pos]));
+                    self.insert(pos);
+                    pos += 1;
+                }
+                Some((mut len, mut dist)) => {
+                    // Lazy evaluation: if the next position has a strictly
+                    // longer match, emit a literal instead and retry there.
+                    if self.config.lazy
+                        && pos + 1 < n
+                        && (len as usize) < self.config.good_enough as usize
+                    {
+                        self.insert(pos);
+                        let mut match_pos = pos;
+                        if let Some((len2, dist2)) = self.find_match(pos + 1) {
+                            if len2 > len + 1 {
+                                tokens.push(Token::Literal(data[pos]));
+                                match_pos = pos + 1;
+                                len = len2;
+                                dist = dist2;
+                            }
+                        }
+                        tokens.push(Token::Match { len, dist });
+                        let end = match_pos + len as usize;
+                        // `pos` was already inserted above; index the rest of
+                        // the matched region.
+                        for p in (pos + 1)..end.min(n) {
+                            self.insert(p);
+                        }
+                        pos = end;
+                    } else {
+                        tokens.push(Token::Match { len, dist });
+                        let end = pos + len as usize;
+                        for p in pos..end.min(n) {
+                            self.insert(p);
+                        }
+                        pos = end;
+                    }
+                }
+            }
+        }
+        tokens
+    }
+}
+
+/// Convenience: parse `input` with `config` and no dictionary prefix.
+pub fn parse(input: &[u8], config: Lz77Config) -> Vec<Token> {
+    MatchFinder::new(input, config).parse(0)
+}
+
+/// Parse `payload` with `dict` acting as a preset window prefix.
+pub fn parse_with_dict(dict: &[u8], payload: &[u8], config: Lz77Config) -> Vec<Token> {
+    let mut joined = Vec::with_capacity(dict.len() + payload.len());
+    joined.extend_from_slice(dict);
+    joined.extend_from_slice(payload);
+    MatchFinder::new(&joined, config).parse(dict.len())
+}
+
+/// Reconstruct the original payload from a token stream. `dict` must be the
+/// same preset dictionary used at parse time (empty when none).
+pub fn reconstruct(dict: &[u8], tokens: &[Token]) -> Vec<u8> {
+    let mut out = dict.to_vec();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out.split_off(dict.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], config: Lz77Config) {
+        let tokens = parse(data, config);
+        assert_eq!(reconstruct(&[], &tokens), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for config in [
+            Lz77Config::deflate_class(),
+            Lz77Config::lzma_class(),
+            Lz77Config::snappy_class(),
+            Lz77Config::zstd_class(),
+        ] {
+            round_trip(b"", config);
+            round_trip(b"a", config);
+            round_trip(b"abc", config);
+            round_trip(b"abcd", config);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_finds_matches() {
+        let data = b"cell=42,drop=0;".repeat(100);
+        let tokens = parse(&data, Lz77Config::deflate_class());
+        let matches = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Match { .. }))
+            .count();
+        assert!(matches > 0, "repetitive data must produce matches");
+        assert!(
+            tokens.len() < data.len() / 4,
+            "token stream should be much shorter than input"
+        );
+        assert_eq!(reconstruct(&[], &tokens), data);
+    }
+
+    #[test]
+    fn overlapping_match_reconstruction() {
+        // 'aaaa...' forces dist=1 overlapping copies.
+        let data = vec![b'a'; 500];
+        round_trip(&data, Lz77Config::deflate_class());
+    }
+
+    #[test]
+    fn random_bytes_round_trip() {
+        // Pseudo-random incompressible data: every config must still be exact.
+        let mut state = 0x1234_5678u32;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 24) as u8
+            })
+            .collect();
+        for config in [
+            Lz77Config::deflate_class(),
+            Lz77Config::lzma_class(),
+            Lz77Config::snappy_class(),
+            Lz77Config::zstd_class(),
+        ] {
+            round_trip(&data, config);
+        }
+    }
+
+    #[test]
+    fn distances_respect_window() {
+        let config = Lz77Config {
+            window_log: 8,
+            max_chain: 32,
+            max_match: 64,
+            lazy: false,
+            good_enough: 32,
+        };
+        let mut data = b"unique-prefix-0123456789".to_vec();
+        data.extend(std::iter::repeat_n(b'x', 1000));
+        data.extend_from_slice(b"unique-prefix-0123456789");
+        let tokens = parse(&data, config);
+        for t in &tokens {
+            if let Token::Match { dist, len } = t {
+                assert!(*dist as usize <= config.window_size());
+                assert!(*len as usize >= MIN_MATCH);
+                assert!(*len <= config.max_match);
+            }
+        }
+        assert_eq!(reconstruct(&[], &tokens), data);
+    }
+
+    #[test]
+    fn dictionary_prefix_enables_cross_references() {
+        let dict = b"SELECT upflux, downflux FROM CDR WHERE ts=";
+        let payload = b"SELECT upflux, downflux FROM CDR WHERE ts=201601221530";
+        let tokens = parse_with_dict(dict, payload, Lz77Config::zstd_class());
+        // The payload's long shared prefix should be one big match into the dict.
+        assert!(matches!(tokens[0], Token::Match { .. }));
+        assert_eq!(reconstruct(dict, &tokens), payload);
+    }
+
+    #[test]
+    fn lazy_matching_still_exact_on_adversarial_input() {
+        // Alternating near-matches exercise the lazy path.
+        let mut data = Vec::new();
+        for i in 0..300u32 {
+            data.extend_from_slice(b"abcabcab");
+            data.push((i % 7) as u8 + b'0');
+            data.extend_from_slice(b"bcabcabc");
+        }
+        round_trip(&data, Lz77Config::deflate_class());
+        round_trip(&data, Lz77Config::lzma_class());
+    }
+}

@@ -1,0 +1,70 @@
+//! Logarithmic slot bucketing for match lengths and distances.
+//!
+//! Large integer values are split into a small "slot" code (entropy coded)
+//! plus raw extra bits, the same scheme DEFLATE uses for distances and Zstd
+//! uses for all sequence fields. Slots 0–3 are exact; slot `2k + h` covers
+//! `(2 + h) << (k - 1)` upward with `k - 1` extra bits.
+
+/// Decompose `v` into `(slot, extra_bits, extra_value)`.
+#[inline]
+pub fn slot_of(v: u32) -> (u32, u32, u32) {
+    if v < 4 {
+        (v, 0, 0)
+    } else {
+        let nb = 31 - v.leading_zeros();
+        let extra = nb - 1;
+        let slot = 2 * nb + ((v >> (nb - 1)) & 1);
+        (slot, extra, v & ((1 << extra) - 1))
+    }
+}
+
+/// Inverse of [`slot_of`]: the base value and extra-bit count of a slot.
+#[inline]
+pub fn base_of(slot: u32) -> (u32, u32) {
+    if slot < 4 {
+        (slot, 0)
+    } else {
+        let nb = slot / 2;
+        let half = slot & 1;
+        ((2 + half) << (nb - 1), nb - 1)
+    }
+}
+
+/// Number of slots needed to represent values below `limit`.
+pub fn slot_count(limit: u32) -> usize {
+    slot_of(limit - 1).0 as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_value_round_trips() {
+        for v in (0u32..4096).chain([65_535, 1 << 16, (1 << 20) - 1, 1 << 24]) {
+            let (slot, extra_bits, extra_val) = slot_of(v);
+            let (base, eb) = base_of(slot);
+            assert_eq!(eb, extra_bits, "v={v}");
+            assert_eq!(base + extra_val, v, "v={v}");
+            assert!(extra_val < (1 << extra_bits) || extra_bits == 0);
+        }
+    }
+
+    #[test]
+    fn slots_are_monotone() {
+        let mut prev = 0;
+        for v in 0u32..100_000 {
+            let (slot, _, _) = slot_of(v);
+            assert!(slot >= prev);
+            prev = slot;
+        }
+    }
+
+    #[test]
+    fn slot_counts_match_known_limits() {
+        // DEFLATE-style: distances below 32 KiB need 30 slots.
+        assert_eq!(slot_count(1 << 15), 30);
+        assert_eq!(slot_count(4), 4);
+        assert_eq!(slot_count(1 << 16), 32);
+    }
+}

@@ -1,0 +1,247 @@
+//! Differential snapshot storage — the paper's future-work extension
+//! (§IX-B) built on [`codecs::DeltaCodec`].
+//!
+//! Every `anchor_interval`-th epoch is stored self-contained ("anchor",
+//! compressed with the regular codec); the epochs in between are stored as
+//! deltas against their group's anchor. Loading a delta costs one extra
+//! anchor read, so the interval trades storage against read amplification
+//! — exactly "the trade-off between compression ratio and decompression
+//! times for incremental archival data" the paper cites from the
+//! differential-compression literature.
+
+use crate::storage::{StorageError, StoredSnapshot};
+use codecs::{Codec, DeltaCodec};
+use dfs::{Dfs, DfsError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// Anchor + delta snapshot store.
+pub struct DeltaSnapshotStore {
+    dfs: Dfs,
+    /// Codec for self-contained anchors.
+    anchor_codec: Arc<dyn Codec>,
+    delta: DeltaCodec,
+    /// Every `anchor_interval`-th epoch is an anchor. Must divide 48 so
+    /// whole days decay as complete groups.
+    anchor_interval: u32,
+    root: String,
+    /// Raw bytes of the most recent anchor (hot path: sequential ingest).
+    last_anchor: Mutex<Option<(EpochId, Arc<Vec<u8>>)>>,
+}
+
+impl DeltaSnapshotStore {
+    pub fn new(dfs: Dfs, anchor_codec: Arc<dyn Codec>, anchor_interval: u32) -> Self {
+        assert!(anchor_interval >= 1);
+        assert_eq!(
+            48 % anchor_interval,
+            0,
+            "anchor interval must divide the 48 epochs of a day"
+        );
+        Self {
+            dfs,
+            anchor_codec,
+            delta: DeltaCodec::default(),
+            anchor_interval,
+            root: "/spate-delta".to_string(),
+            last_anchor: Mutex::new(None),
+        }
+    }
+
+    fn is_anchor(&self, epoch: EpochId) -> bool {
+        epoch.0.is_multiple_of(self.anchor_interval)
+    }
+
+    fn anchor_of(&self, epoch: EpochId) -> EpochId {
+        EpochId(epoch.0 - epoch.0 % self.anchor_interval)
+    }
+
+    fn path_for(&self, epoch: EpochId) -> String {
+        let kind = if self.is_anchor(epoch) { "anchor" } else { "delta" };
+        let c = epoch.civil();
+        format!(
+            "{}/{:04}/{:02}/{:02}/{:010}.{kind}",
+            self.root, c.year, c.month, c.day, epoch.0
+        )
+    }
+
+    /// Raw (uncompressed) bytes of an anchor epoch.
+    fn load_anchor_raw(&self, anchor: EpochId) -> Result<Arc<Vec<u8>>, StorageError> {
+        if let Some((e, raw)) = self.last_anchor.lock().as_ref() {
+            if *e == anchor {
+                return Ok(Arc::clone(raw));
+            }
+        }
+        let packed = match self.dfs.read(&self.path_for(anchor)) {
+            Ok(p) => p,
+            Err(DfsError::NotFound(_)) => return Err(StorageError::Missing(anchor)),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Arc::new(self.anchor_codec.decompress(&packed)?))
+    }
+
+    /// Store a snapshot: anchors self-contained, the rest as deltas.
+    pub fn store(&self, snapshot: &Snapshot) -> Result<StoredSnapshot, StorageError> {
+        let epoch = snapshot.epoch;
+        let raw = snapshot.to_bytes();
+        let packed = if self.is_anchor(epoch) {
+            let packed = self.anchor_codec.compress(&raw);
+            *self.last_anchor.lock() = Some((epoch, Arc::new(raw.clone())));
+            packed
+        } else {
+            let anchor_raw = self.load_anchor_raw(self.anchor_of(epoch))?;
+            self.delta.compress(&anchor_raw, &raw)
+        };
+        let path = self.path_for(epoch);
+        self.dfs.write(&path, &packed)?;
+        Ok(StoredSnapshot {
+            epoch,
+            path,
+            raw_bytes: raw.len() as u64,
+            stored_bytes: packed.len() as u64,
+        })
+    }
+
+    /// Load a snapshot (deltas cost one extra anchor read).
+    pub fn load(&self, epoch: EpochId) -> Result<Snapshot, StorageError> {
+        let packed = match self.dfs.read(&self.path_for(epoch)) {
+            Ok(p) => p,
+            Err(DfsError::NotFound(_)) => return Err(StorageError::Missing(epoch)),
+            Err(e) => return Err(e.into()),
+        };
+        let raw = if self.is_anchor(epoch) {
+            self.anchor_codec.decompress(&packed)?
+        } else {
+            let anchor_raw = self.load_anchor_raw(self.anchor_of(epoch))?;
+            self.delta.decompress(&anchor_raw, &packed)?
+        };
+        Ok(Snapshot::from_bytes(&raw)?)
+    }
+
+    /// Evict one epoch. Anchors refuse to go while any of their dependent
+    /// deltas is still stored (the decay fungus evicts oldest-first in
+    /// whole days, which always satisfies this).
+    pub fn evict(&self, epoch: EpochId) -> Result<u64, StorageError> {
+        if self.is_anchor(epoch) {
+            for e in epoch.0 + 1..epoch.0 + self.anchor_interval {
+                if self.dfs.exists(&self.path_for(EpochId(e))) {
+                    return Err(StorageError::Dfs(DfsError::AlreadyExists(format!(
+                        "anchor {} still has dependent delta {}",
+                        epoch.0, e
+                    ))));
+                }
+            }
+        }
+        match self.dfs.delete(&self.path_for(epoch)) {
+            Ok(n) => Ok(n),
+            Err(DfsError::NotFound(_)) => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    pub fn contains(&self, epoch: EpochId) -> bool {
+        self.dfs.exists(&self.path_for(epoch))
+    }
+
+    /// Total stored bytes under this root.
+    pub fn stored_bytes(&self) -> u64 {
+        self.dfs
+            .list(&format!("{}/", self.root))
+            .iter()
+            .filter_map(|p| self.dfs.file_len(p).ok())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::SnapshotStore;
+    use codecs::GzipLite;
+    use telco_trace::{TraceConfig, TraceGenerator};
+
+    fn stores() -> (DeltaSnapshotStore, SnapshotStore) {
+        (
+            DeltaSnapshotStore::new(Dfs::in_memory(), Arc::new(GzipLite::default()), 8),
+            SnapshotStore::new(Dfs::in_memory(), Arc::new(GzipLite::default())),
+        )
+    }
+
+    fn snapshots(n: usize) -> Vec<Snapshot> {
+        TraceGenerator::new(TraceConfig::scaled(1.0 / 256.0))
+            .skip(16)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_across_anchor_groups() {
+        let (store, _) = stores();
+        let snaps = snapshots(18); // spans three anchor groups (K=8)
+        for s in &snaps {
+            store.store(s).unwrap();
+        }
+        for s in &snaps {
+            let loaded = store.load(s.epoch).unwrap();
+            assert_eq!(loaded.to_bytes(), s.to_bytes());
+        }
+    }
+
+    #[test]
+    fn cold_loads_work_without_the_ingest_cache() {
+        let (store, _) = stores();
+        let snaps = snapshots(10);
+        for s in &snaps {
+            store.store(s).unwrap();
+        }
+        // Invalidate the in-memory anchor (as after a restart).
+        *store.last_anchor.lock() = None;
+        let mid = &snaps[5];
+        assert_eq!(store.load(mid.epoch).unwrap().to_bytes(), mid.to_bytes());
+    }
+
+    #[test]
+    fn deltas_reduce_storage_versus_plain_compression() {
+        let (delta_store, plain_store) = stores();
+        for s in snapshots(16) {
+            delta_store.store(&s).unwrap();
+            plain_store.store(&s).unwrap();
+        }
+        let d = delta_store.stored_bytes();
+        let p = plain_store.stored_bytes();
+        assert!(
+            (d as f64) < p as f64 * 0.95,
+            "delta {d} should undercut plain {p}"
+        );
+    }
+
+    #[test]
+    fn anchors_refuse_eviction_while_deltas_depend_on_them() {
+        let (store, _) = stores();
+        let snaps = snapshots(10);
+        for s in &snaps {
+            store.store(s).unwrap();
+        }
+        let anchor = store.anchor_of(snaps[0].epoch);
+        assert!(store.evict(anchor).is_err(), "dependents still present");
+        // Evict the group oldest-first: deltas, then the anchor.
+        for e in anchor.0 + 1..anchor.0 + 8 {
+            store.evict(EpochId(e)).unwrap();
+        }
+        assert!(store.evict(anchor).unwrap() > 0);
+        assert!(!store.contains(anchor));
+        // Later groups unaffected.
+        assert!(store.load(snaps[9].epoch).is_ok());
+    }
+
+    #[test]
+    fn missing_epochs_are_reported() {
+        let (store, _) = stores();
+        assert!(matches!(
+            store.load(EpochId(999)),
+            Err(StorageError::Missing(_))
+        ));
+        assert_eq!(store.evict(EpochId(999)).unwrap(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The three compared frameworks of the paper's evaluation (§VII-A),
+//! behind one trait:
+//!
+//! * [`RawFramework`] — "the default solution that stores the telco
+//!   snapshots as data files on the HDFS file system without any
+//!   compression, indexing or decaying."
+//! * [`ShahedFramework`] — raw storage plus the isolated spatio-temporal
+//!   aggregate index of SHAHED; "appropriate for online querying and
+//!   visualization, but does not deploy compression or decaying."
+//! * [`SpateFramework`] — this paper: compression + multi-resolution
+//!   index + highlights + decay.
+
+mod raw;
+mod shahed_fw;
+mod spate;
+
+pub use raw::RawFramework;
+pub use shahed_fw::ShahedFramework;
+pub use spate::SpateFramework;
+
+use crate::query::{Query, QueryResult};
+use telco_trace::cells::CellLayout;
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// Cost of ingesting one snapshot (paper metric: "Ingestion Time ...
+/// includes the compression time needed to compress d and the time needed
+/// to run the Incremence module").
+#[derive(Debug, Clone, Copy)]
+pub struct IngestStats {
+    pub epoch: EpochId,
+    pub seconds: f64,
+    pub raw_bytes: u64,
+    pub stored_bytes: u64,
+}
+
+/// Disk usage (paper metric: "Space ... the total space S′ that data and
+/// index occupy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Logical bytes of stored snapshot files (pre-replication).
+    pub data_bytes: u64,
+    /// Bytes of index structures (highlights / aggregate trees).
+    pub index_bytes: u64,
+}
+
+impl SpaceReport {
+    pub fn total(&self) -> u64 {
+        self.data_bytes + self.index_bytes
+    }
+}
+
+/// A telco data exploration framework under evaluation.
+pub trait ExplorationFramework {
+    fn name(&self) -> &'static str;
+
+    /// The static cell inventory shared by all frameworks.
+    fn layout(&self) -> &CellLayout;
+
+    /// Ingest one arriving snapshot, measuring the cost.
+    fn ingest(&mut self, snapshot: &Snapshot) -> IngestStats;
+
+    /// Current disk usage of data + index.
+    fn space(&self) -> SpaceReport;
+
+    /// Load one epoch's snapshot at full resolution, if retained.
+    fn load_epoch(&self, epoch: EpochId) -> Option<Snapshot>;
+
+    /// Load every retained snapshot in the inclusive window (the scan path
+    /// the tasks T1–T8 run on).
+    fn scan(&self, start: EpochId, end: EpochId) -> Vec<Snapshot> {
+        (start.0..=end.0)
+            .filter_map(|e| self.load_epoch(EpochId(e)))
+            .collect()
+    }
+
+    /// Evaluate a data exploration query `Q(a, b, w)`.
+    fn query(&self, q: &Query) -> QueryResult;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use telco_trace::{TraceConfig, TraceGenerator};
+
+    /// A tiny ingested trace for framework tests: returns (layout,
+    /// snapshots).
+    pub fn tiny_trace(n: usize) -> (CellLayout, Vec<Snapshot>) {
+        let mut generator = TraceGenerator::new(TraceConfig::scaled(1.0 / 256.0));
+        let layout = generator.layout().clone();
+        let snaps: Vec<Snapshot> = (&mut generator).take(n).collect();
+        (layout, snaps)
+    }
+}

@@ -1,0 +1,187 @@
+//! The SHAHED baseline framework: raw storage + the isolated
+//! spatio-temporal aggregate index.
+
+use crate::framework::{ExplorationFramework, IngestStats, SpaceReport};
+use crate::query::{project_snapshots, Query, QueryResult};
+use crate::storage::SnapshotStore;
+use codecs::Identity;
+use dfs::Dfs;
+use shahed::{AggStats, Point, ShahedIndex};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+use telco_trace::cells::{BoundingBox, CellLayout};
+use telco_trace::schema::cdr;
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// Measures tracked by the aggregate index, in order.
+pub const SHAHED_MEASURES: [&str; 4] = ["records", "drops", "upflux", "downflux"];
+
+/// Raw snapshot files plus SHAHED's aggregate quad-tree hierarchy: fast
+/// spatio-temporal aggregates, full storage cost, no decay.
+pub struct ShahedFramework {
+    store: SnapshotStore,
+    layout: CellLayout,
+    index: ShahedIndex,
+    ingested: BTreeSet<u32>,
+}
+
+impl ShahedFramework {
+    pub fn new(dfs: Dfs, layout: CellLayout) -> Self {
+        let index = ShahedIndex::new(BoundingBox::everything(), SHAHED_MEASURES.len());
+        Self {
+            store: SnapshotStore::new(dfs, Arc::new(Identity)).with_root("/shahed"),
+            layout,
+            index,
+            ingested: BTreeSet::new(),
+        }
+    }
+
+    pub fn in_memory(layout: CellLayout) -> Self {
+        Self::new(Dfs::in_memory(), layout)
+    }
+
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// One index point per CDR record, at the record's cell site.
+    fn points_of(&self, snapshot: &Snapshot) -> Vec<Point> {
+        snapshot
+            .cdr
+            .iter()
+            .filter_map(|r| {
+                let cell_id = r.get(cdr::CELL_ID).as_i64()?;
+                if cell_id < 0 || cell_id as usize >= self.layout.len() {
+                    return None;
+                }
+                let cell = self.layout.get(cell_id as u32);
+                let drop = f64::from(r.get(cdr::CALL_RESULT).as_text() == "DROP");
+                Some(Point {
+                    x: cell.x_m,
+                    y: cell.y_m,
+                    values: vec![
+                        1.0,
+                        drop,
+                        r.get(cdr::UPFLUX).as_f64().unwrap_or(0.0),
+                        r.get(cdr::DOWNFLUX).as_f64().unwrap_or(0.0),
+                    ],
+                })
+            })
+            .collect()
+    }
+
+    /// Direct access to the aggregate index (for aggregate-query benches).
+    pub fn agg_query(&self, bbox: &BoundingBox, start: EpochId, end: EpochId) -> Vec<AggStats> {
+        self.index.query_agg(bbox, start, end)
+    }
+
+    /// Flush open rollup buffers (call after the last snapshot of a run).
+    pub fn finalize(&mut self) {
+        self.index.finalize();
+    }
+}
+
+impl ExplorationFramework for ShahedFramework {
+    fn name(&self) -> &'static str {
+        "SHAHED"
+    }
+
+    fn layout(&self) -> &CellLayout {
+        &self.layout
+    }
+
+    fn ingest(&mut self, snapshot: &Snapshot) -> IngestStats {
+        let t0 = Instant::now();
+        let stored = self.store.store(snapshot).expect("shahed store");
+        let points = self.points_of(snapshot);
+        self.index.insert_epoch(snapshot.epoch, points);
+        self.ingested.insert(snapshot.epoch.0);
+        IngestStats {
+            epoch: snapshot.epoch,
+            seconds: t0.elapsed().as_secs_f64(),
+            raw_bytes: stored.raw_bytes,
+            stored_bytes: stored.stored_bytes,
+        }
+    }
+
+    fn space(&self) -> SpaceReport {
+        SpaceReport {
+            data_bytes: self.store.stored_bytes(),
+            index_bytes: self.index.memory_bytes() as u64,
+        }
+    }
+
+    fn load_epoch(&self, epoch: EpochId) -> Option<Snapshot> {
+        if !self.ingested.contains(&epoch.0) {
+            return None;
+        }
+        self.store.load(epoch).ok()
+    }
+
+    fn query(&self, q: &Query) -> QueryResult {
+        let snaps = self.scan(q.window.0, q.window.1);
+        if snaps.is_empty() {
+            return QueryResult::Unavailable;
+        }
+        QueryResult::Exact(project_snapshots(&snaps, q, &self.layout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::testutil::tiny_trace;
+
+    fn ingested(n: usize) -> (ShahedFramework, Vec<Snapshot>) {
+        let (layout, snaps) = tiny_trace(n);
+        let mut fw = ShahedFramework::in_memory(layout);
+        for s in &snaps {
+            fw.ingest(s);
+        }
+        fw.finalize();
+        (fw, snaps)
+    }
+
+    #[test]
+    fn aggregate_index_counts_cdr_records(){
+        let (fw, snaps) = ingested(4);
+        let stats = fw.agg_query(&BoundingBox::everything(), EpochId(0), EpochId(3));
+        let expected: u64 = snaps.iter().map(|s| s.cdr.len() as u64).sum();
+        assert_eq!(stats[0].count, expected);
+        assert_eq!(stats[0].sum, expected as f64);
+        // Drop measure is a subset of records.
+        assert!(stats[1].sum <= stats[0].sum);
+        // Flux sums are nonnegative.
+        assert!(stats[2].sum >= 0.0 && stats[3].sum >= 0.0);
+    }
+
+    #[test]
+    fn spatial_aggregates_narrow_with_bbox() {
+        let (fw, _) = ingested(6);
+        let all = fw.agg_query(&BoundingBox::everything(), EpochId(0), EpochId(5));
+        let quadrant = BoundingBox::new(0.0, 0.0, 38_000.0, 38_000.0);
+        let some = fw.agg_query(&quadrant, EpochId(0), EpochId(5));
+        assert!(some[0].count <= all[0].count);
+    }
+
+    #[test]
+    fn space_includes_index_overhead() {
+        let (fw, _) = ingested(3);
+        let space = fw.space();
+        assert!(space.data_bytes > 0);
+        assert!(space.index_bytes > 0, "the aggregate index occupies space");
+        assert_eq!(space.total(), space.data_bytes + space.index_bytes);
+    }
+
+    #[test]
+    fn exact_query_matches_raw_semantics() {
+        let (fw, snaps) = ingested(3);
+        let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 2);
+        let result = fw.query(&q);
+        assert!(result.is_exact());
+        let expected: usize = snaps.iter().map(|s| s.cdr.len()).sum();
+        assert_eq!(result.row_count(), expected);
+    }
+}

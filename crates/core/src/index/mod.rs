@@ -1,0 +1,427 @@
+//! The SPATE indexing layer: a multi-resolution temporal index with
+//! incremence, highlights and decaying (paper §V, Fig. 5).
+//!
+//! "Our index has 4 levels of temporal resolutions (i.e., epoch (30
+//! minutes), day, month, year) ... the root node points to year-nodes ...
+//! each year node points to 12 month-nodes ... the month nodes point to
+//! their corresponding day-nodes, and each day node points to its
+//! corresponding 48 snapshot leaves."
+
+pub mod decay;
+pub mod highlights;
+pub mod persist;
+pub mod sketch;
+
+use crate::storage::StoredSnapshot;
+use highlights::{HighlightConfig, Highlights, Resolution};
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// A leaf of the index: one stored (compressed) snapshot.
+#[derive(Debug, Clone)]
+pub struct EpochLeaf {
+    pub epoch: EpochId,
+    /// DFS path of the compressed snapshot file.
+    pub path: String,
+    pub raw_bytes: u64,
+    pub stored_bytes: u64,
+    /// False once the decay fungus evicted the file.
+    pub present: bool,
+}
+
+/// A day node: up to 48 leaves plus the day's highlights.
+#[derive(Debug)]
+pub struct DayNode {
+    /// Days since trace start.
+    pub day_index: u32,
+    pub highlights: Highlights,
+    pub leaves: Vec<EpochLeaf>,
+    /// True once the day's highlights were decayed away.
+    pub decayed: bool,
+}
+
+/// A month node.
+#[derive(Debug)]
+pub struct MonthNode {
+    pub year: u32,
+    pub month: u32,
+    pub highlights: Highlights,
+    pub days: Vec<DayNode>,
+    pub decayed: bool,
+}
+
+/// A year node.
+#[derive(Debug)]
+pub struct YearNode {
+    pub year: u32,
+    pub highlights: Highlights,
+    pub months: Vec<MonthNode>,
+    pub decayed: bool,
+}
+
+/// What the index can offer for a query window `w` (paper §VI-A: "the
+/// index is accessed to find the temporal node whose period completely
+/// covers w").
+#[derive(Debug)]
+pub enum Covering<'a> {
+    /// Every epoch of the window is present at full resolution.
+    Exact(Vec<&'a EpochLeaf>),
+    /// The lowest single node covering the window, with its resolution.
+    Summary {
+        resolution: Resolution,
+        highlights: &'a Highlights,
+    },
+    /// The window's data has fully decayed (or never existed).
+    Unavailable,
+}
+
+/// The multi-resolution temporal index.
+#[derive(Debug)]
+pub struct TemporalIndex {
+    pub(crate) config: HighlightConfig,
+    pub(crate) years: Vec<YearNode>,
+    /// Root highlights over all completed data ("the root will store the
+    /// highlights of all the completed years").
+    pub(crate) root_highlights: Highlights,
+    pub(crate) last_epoch: Option<EpochId>,
+}
+
+impl TemporalIndex {
+    pub fn new(config: HighlightConfig) -> Self {
+        let n_attrs = config.categorical_attrs.len();
+        Self {
+            config,
+            years: Vec::new(),
+            root_highlights: Highlights::empty(EpochId(0), n_attrs),
+            last_epoch: None,
+        }
+    }
+
+    pub fn config(&self) -> &HighlightConfig {
+        &self.config
+    }
+
+    pub fn years(&self) -> &[YearNode] {
+        &self.years
+    }
+
+    pub fn root_highlights(&self) -> &Highlights {
+        &self.root_highlights
+    }
+
+    pub fn last_epoch(&self) -> Option<EpochId> {
+        self.last_epoch
+    }
+
+    /// The Incremence module: "Every time a new snapshot arrives, it is
+    /// compressed by the storage layer and then the temporal index is
+    /// incremented on its right-most path. If the new snapshot belongs to
+    /// an incomplete day, it is just added as a leaf under the existing
+    /// right-most day-node. Else, we first need to add a new dummy
+    /// day-node [... month-node ... year-node]."
+    ///
+    /// Highlights are accumulated incrementally on the whole right-most
+    /// path (leaf summary merged into day, month, year and root), which is
+    /// equivalent to the paper's compute-at-period-end formulation but
+    /// keeps every node current at all times.
+    pub fn incremence(&mut self, snapshot: &Snapshot, stored: &StoredSnapshot) {
+        let epoch = snapshot.epoch;
+        assert!(
+            self.last_epoch.is_none_or(|last| epoch > last),
+            "snapshots must arrive in epoch order"
+        );
+        self.last_epoch = Some(epoch);
+        let civil = epoch.civil();
+        let n_attrs = self.config.categorical_attrs.len();
+
+        // Right-most path maintenance: create dummy year/month/day nodes on
+        // rollover.
+        if self.years.last().map(|y| y.year) != Some(civil.year) {
+            self.years.push(YearNode {
+                year: civil.year,
+                highlights: Highlights::empty(epoch, n_attrs),
+                months: Vec::new(),
+                decayed: false,
+            });
+        }
+        let year = self.years.last_mut().unwrap();
+        if year.months.last().map(|m| m.month) != Some(civil.month) {
+            year.months.push(MonthNode {
+                year: civil.year,
+                month: civil.month,
+                highlights: Highlights::empty(epoch, n_attrs),
+                days: Vec::new(),
+                decayed: false,
+            });
+        }
+        let month = year.months.last_mut().unwrap();
+        if month.days.last().map(|d| d.day_index) != Some(epoch.day_index()) {
+            month.days.push(DayNode {
+                day_index: epoch.day_index(),
+                highlights: Highlights::empty(epoch, n_attrs),
+                leaves: Vec::new(),
+                decayed: false,
+            });
+        }
+        let day = month.days.last_mut().unwrap();
+
+        // Leaf insertion + highlight rollup along the path.
+        let leaf_highlights = Highlights::from_snapshot(snapshot, &self.config);
+        day.highlights.merge(&leaf_highlights);
+        month.highlights.merge(&leaf_highlights);
+        year.highlights.merge(&leaf_highlights);
+        self.root_highlights.merge(&leaf_highlights);
+        day.leaves.push(EpochLeaf {
+            epoch,
+            path: stored.path.clone(),
+            raw_bytes: stored.raw_bytes,
+            stored_bytes: stored.stored_bytes,
+            present: true,
+        });
+    }
+
+    fn each_day(&self) -> impl Iterator<Item = &DayNode> {
+        self.years
+            .iter()
+            .flat_map(|y| y.months.iter())
+            .flat_map(|m| m.days.iter())
+    }
+
+    /// All leaves intersecting the inclusive window, present or decayed.
+    pub fn leaves_in(&self, start: EpochId, end: EpochId) -> Vec<&EpochLeaf> {
+        self.each_day()
+            .filter(|d| {
+                let day_start = d.day_index * telco_trace::time::EPOCHS_PER_DAY;
+                let day_end = day_start + telco_trace::time::EPOCHS_PER_DAY - 1;
+                day_start <= end.0 && start.0 <= day_end
+            })
+            .flat_map(|d| d.leaves.iter())
+            .filter(|l| l.epoch >= start && l.epoch <= end)
+            .collect()
+    }
+
+    /// Answer planning for `Q(a, b, w)`: exact if every epoch of `w` is
+    /// present, otherwise the lowest single node whose period covers `w`.
+    pub fn find_covering(&self, start: EpochId, end: EpochId) -> Covering<'_> {
+        assert!(start <= end);
+        let leaves = self.leaves_in(start, end);
+        let expected = (end.0 - start.0 + 1) as usize;
+        if leaves.len() == expected && leaves.iter().all(|l| l.present) {
+            return Covering::Exact(leaves);
+        }
+
+        // Same day?
+        if start.day_index() == end.day_index() {
+            if let Some(day) = self.each_day().find(|d| d.day_index == start.day_index()) {
+                if !day.decayed {
+                    return Covering::Summary {
+                        resolution: Resolution::Day,
+                        highlights: &day.highlights,
+                    };
+                }
+            }
+        }
+        // Same month?
+        let (cs, ce) = (start.civil(), end.civil());
+        if (cs.year, cs.month) == (ce.year, ce.month) {
+            if let Some(month) = self
+                .years
+                .iter()
+                .flat_map(|y| y.months.iter())
+                .find(|m| (m.year, m.month) == (cs.year, cs.month))
+            {
+                if !month.decayed {
+                    return Covering::Summary {
+                        resolution: Resolution::Month,
+                        highlights: &month.highlights,
+                    };
+                }
+            }
+        }
+        // Same year?
+        if cs.year == ce.year {
+            if let Some(year) = self.years.iter().find(|y| y.year == cs.year) {
+                if !year.decayed {
+                    return Covering::Summary {
+                        resolution: Resolution::Year,
+                        highlights: &year.highlights,
+                    };
+                }
+            }
+        }
+        // Root: any overlap with the retained corpus at all?
+        if self
+            .last_epoch
+            .is_some_and(|last| start <= last && !self.years.is_empty())
+        {
+            return Covering::Summary {
+                resolution: Resolution::Root,
+                highlights: &self.root_highlights,
+            };
+        }
+        Covering::Unavailable
+    }
+
+    /// Index space `S_i`: approximate bytes of all retained highlights.
+    pub fn index_bytes(&self) -> u64 {
+        let mut total = self.root_highlights.approx_bytes();
+        for y in &self.years {
+            if !y.decayed {
+                total += y.highlights.approx_bytes();
+            }
+            for m in &y.months {
+                if !m.decayed {
+                    total += m.highlights.approx_bytes();
+                }
+                for d in &m.days {
+                    if !d.decayed {
+                        total += d.highlights.approx_bytes();
+                    }
+                    total += d.leaves.len() as u64 * 64;
+                }
+            }
+        }
+        total
+    }
+
+    /// Count of present (not yet decayed) leaves.
+    pub fn present_leaves(&self) -> usize {
+        self.each_day()
+            .flat_map(|d| d.leaves.iter())
+            .filter(|l| l.present)
+            .count()
+    }
+
+    /// Mutable access for the decay module.
+    pub(crate) fn years_mut(&mut self) -> &mut Vec<YearNode> {
+        &mut self.years
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::SnapshotStore;
+    use codecs::GzipLite;
+    use dfs::Dfs;
+    use std::sync::Arc;
+    use telco_trace::time::EPOCHS_PER_DAY;
+    use telco_trace::{TraceConfig, TraceGenerator};
+
+    fn build_index(n_epochs: usize) -> (TemporalIndex, SnapshotStore) {
+        let store = SnapshotStore::new(Dfs::in_memory(), Arc::new(GzipLite::default()));
+        let mut index = TemporalIndex::new(HighlightConfig::default());
+        let mut config = TraceConfig::tiny();
+        config.days = n_epochs as u32 / EPOCHS_PER_DAY + 1;
+        let mut generator = TraceGenerator::new(config);
+        for _ in 0..n_epochs {
+            let snap = generator.next_snapshot().unwrap();
+            let stored = store.store(&snap).unwrap();
+            index.incremence(&snap, &stored);
+        }
+        (index, store)
+    }
+
+    #[test]
+    fn rightmost_path_structure() {
+        let (index, _) = build_index((2 * EPOCHS_PER_DAY + 5) as usize);
+        assert_eq!(index.years().len(), 1);
+        let year = &index.years()[0];
+        assert_eq!(year.year, 2016);
+        assert_eq!(year.months.len(), 1);
+        let month = &year.months[0];
+        assert_eq!(month.days.len(), 3);
+        assert_eq!(month.days[0].leaves.len(), EPOCHS_PER_DAY as usize);
+        assert_eq!(month.days[1].leaves.len(), EPOCHS_PER_DAY as usize);
+        assert_eq!(month.days[2].leaves.len(), 5);
+        assert_eq!(index.present_leaves(), (2 * EPOCHS_PER_DAY + 5) as usize);
+    }
+
+    #[test]
+    fn highlights_roll_up_consistently() {
+        let (index, _) = build_index((EPOCHS_PER_DAY + 10) as usize);
+        let year = &index.years()[0];
+        let month = &year.months[0];
+        let day_total: u64 = month.days.iter().map(|d| d.highlights.cdr_records).sum();
+        assert_eq!(month.highlights.cdr_records, day_total);
+        assert_eq!(year.highlights.cdr_records, day_total);
+        assert_eq!(index.root_highlights().cdr_records, day_total);
+        assert!(day_total > 0);
+    }
+
+    #[test]
+    fn exact_covering_when_all_leaves_present() {
+        let (index, _) = build_index(10);
+        match index.find_covering(EpochId(2), EpochId(7)) {
+            Covering::Exact(leaves) => {
+                assert_eq!(leaves.len(), 6);
+                assert!(leaves.iter().all(|l| l.present));
+            }
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_epochs_fall_back_to_summary() {
+        let (index, _) = build_index(10);
+        // Window extends past ingested data within the same day.
+        match index.find_covering(EpochId(5), EpochId(20)) {
+            Covering::Summary {
+                resolution,
+                highlights,
+            } => {
+                assert_eq!(resolution, Resolution::Day);
+                assert!(highlights.cdr_records > 0);
+            }
+            other => panic!("expected day summary, got {other:?}"),
+        }
+        // Window spanning multiple days of the same month → month node.
+        match index.find_covering(EpochId(5), EpochId(EPOCHS_PER_DAY * 3)) {
+            Covering::Summary { resolution, .. } => assert_eq!(resolution, Resolution::Month),
+            other => panic!("expected month summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremence_rejects_out_of_order() {
+        let (mut index, store) = build_index(3);
+        let mut generator = TraceGenerator::new(TraceConfig::tiny());
+        let snap = generator.next_snapshot().unwrap(); // epoch 0 again
+        let stored = crate::storage::StoredSnapshot {
+            epoch: snap.epoch,
+            path: store.path_for(snap.epoch),
+            raw_bytes: 1,
+            stored_bytes: 1,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            index.incremence(&snap, &stored)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn leaves_in_respects_window() {
+        let (index, _) = build_index((EPOCHS_PER_DAY + 6) as usize);
+        let leaves = index.leaves_in(EpochId(EPOCHS_PER_DAY - 2), EpochId(EPOCHS_PER_DAY + 2));
+        assert_eq!(leaves.len(), 5);
+        assert!(leaves.windows(2).all(|w| w[0].epoch < w[1].epoch));
+    }
+
+    #[test]
+    fn index_bytes_accounts_highlights() {
+        let (small, _) = build_index(4);
+        let (large, _) = build_index((EPOCHS_PER_DAY * 2) as usize);
+        assert!(large.index_bytes() > small.index_bytes());
+    }
+
+    #[test]
+    fn empty_index_is_unavailable() {
+        let index = TemporalIndex::new(HighlightConfig::default());
+        assert!(matches!(
+            index.find_covering(EpochId(0), EpochId(5)),
+            Covering::Unavailable
+        ));
+        assert_eq!(index.present_leaves(), 0);
+        assert_eq!(index.last_epoch(), None);
+    }
+}

@@ -1,0 +1,326 @@
+//! Space-Saving frequency sketch: bounded-memory θ-classification for
+//! high-cardinality attributes.
+//!
+//! The default highlight attributes (call type/result, technology, plan)
+//! have small domains, so exact [`crate::index::highlights::FreqTable`]s
+//! suffice. At paper scale an operator may also want θ-highlights over
+//! high-cardinality attributes — caller MSISDNs, IMEIs — whose exact
+//! tables would grow with the subscriber base. The Space-Saving sketch
+//! (Metwally et al.) answers the same question in `O(capacity)` memory:
+//!
+//! * any value with true relative frequency ≥ 1/capacity is guaranteed to
+//!   be tracked (no frequent value is ever missed), and
+//! * each tracked count over-estimates truth by at most its recorded
+//!   error, so "definitely frequent (no-highlight)" and "possibly rare
+//!   (highlight candidate)" are separable with one-sided guarantees.
+//!
+//! Sketches merge (day → month → year rollups) by the standard pairwise
+//! combination, preserving the over-estimate invariant.
+
+use std::collections::HashMap;
+
+/// One tracked counter: estimated count plus the maximum over-estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    /// Upper bound on the value's true count.
+    pub count: u64,
+    /// Over-estimation bound: `count - error ≤ true ≤ count`.
+    pub error: u64,
+}
+
+/// The Space-Saving sketch.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: HashMap<String, Counter>,
+    /// Total observations (exact).
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// `capacity` counters ≈ guarantees for values with share ≥ 1/capacity.
+    /// For a θ-threshold, use `capacity ≥ ceil(1/θ)`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Self {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Capacity sized for a frequency threshold θ (with 2x slack).
+    pub fn for_theta(theta: f64) -> Self {
+        assert!(theta > 0.0 && theta < 1.0);
+        Self::new(((2.0 / theta).ceil() as usize).max(8))
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Observe one occurrence of `value`.
+    pub fn add(&mut self, value: &str) {
+        self.add_count(value, 1);
+    }
+
+    /// Observe `n` occurrences of `value`.
+    pub fn add_count(&mut self, value: &str, n: u64) {
+        self.total += n;
+        if let Some(c) = self.counters.get_mut(value) {
+            c.count += n;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(
+                value.to_string(),
+                Counter { count: n, error: 0 },
+            );
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // error bound (the classic Space-Saving replacement).
+        let (victim, min) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, c)| c.count)
+            .map(|(k, c)| (k.clone(), *c))
+            .expect("capacity ≥ 1");
+        self.counters.remove(&victim);
+        self.counters.insert(
+            value.to_string(),
+            Counter {
+                count: min.count + n,
+                error: min.count,
+            },
+        );
+    }
+
+    /// Estimated counter for a value (`None` = untracked, true count is at
+    /// most the current minimum counter).
+    pub fn get(&self, value: &str) -> Option<Counter> {
+        self.counters.get(value).copied()
+    }
+
+    /// Upper bound on the true count of any *untracked* value.
+    pub fn untracked_bound(&self) -> u64 {
+        if self.counters.len() < self.capacity {
+            0
+        } else {
+            self.counters.values().map(|c| c.count).min().unwrap_or(0)
+        }
+    }
+
+    /// Is `value` guaranteed frequent (true share ≥ θ)?
+    pub fn definitely_frequent(&self, value: &str, theta: f64) -> bool {
+        let Some(c) = self.get(value) else {
+            return false;
+        };
+        if self.total == 0 {
+            return false;
+        }
+        (c.count - c.error) as f64 / self.total as f64 >= theta
+    }
+
+    /// Is `value` possibly rare (true share may be below θ)? This is the
+    /// highlight-candidate test: the complement of
+    /// [`SpaceSaving::definitely_frequent`].
+    pub fn possibly_rare(&self, value: &str, theta: f64) -> bool {
+        !self.definitely_frequent(value, theta)
+    }
+
+    /// Values whose *upper-bound* share reaches θ (the heavy hitters; the
+    /// guarantee is that no value with true share ≥ θ is missing).
+    pub fn heavy_hitters(&self, theta: f64) -> Vec<(&str, Counter)> {
+        if self.total == 0 {
+            return vec![];
+        }
+        let mut out: Vec<(&str, Counter)> = self
+            .counters
+            .iter()
+            .filter(|(_, c)| c.count as f64 / self.total as f64 >= theta)
+            .map(|(k, c)| (k.as_str(), *c))
+            .collect();
+        out.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(b.0)));
+        out
+    }
+
+    /// Merge another sketch (pairwise sum, then shrink back to capacity).
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        self.total += other.total;
+        let self_untracked = self.untracked_bound();
+        let other_untracked = other.untracked_bound();
+        let mut merged: HashMap<String, Counter> = HashMap::new();
+        for (k, c) in &self.counters {
+            let o = other.get(k).unwrap_or(Counter {
+                count: other_untracked,
+                error: other_untracked,
+            });
+            merged.insert(
+                k.clone(),
+                Counter {
+                    count: c.count + o.count,
+                    error: c.error + o.error,
+                },
+            );
+        }
+        for (k, c) in &other.counters {
+            merged.entry(k.clone()).or_insert(Counter {
+                count: c.count + self_untracked,
+                error: c.error + self_untracked,
+            });
+        }
+        // Keep the `capacity` largest counters.
+        let mut entries: Vec<(String, Counter)> = merged.into_iter().collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1.count));
+        entries.truncate(self.capacity);
+        self.counters = entries.into_iter().collect();
+    }
+
+    /// Rough memory footprint (for index-space accounting).
+    pub fn approx_bytes(&self) -> u64 {
+        self.counters.keys().map(|k| k.len() as u64 + 24)
+            .sum::<u64>()
+            + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(10);
+        for _ in 0..7 {
+            s.add("a");
+        }
+        for _ in 0..3 {
+            s.add("b");
+        }
+        assert_eq!(s.get("a"), Some(Counter { count: 7, error: 0 }));
+        assert_eq!(s.get("b"), Some(Counter { count: 3, error: 0 }));
+        assert_eq!(s.get("c"), None);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.untracked_bound(), 0);
+    }
+
+    #[test]
+    fn frequent_values_are_never_missed() {
+        // 100K observations over 10K distinct values; "hot" takes 10%.
+        let mut s = SpaceSaving::new(64);
+        let mut state = 7u64;
+        for i in 0..100_000u64 {
+            if i % 10 == 0 {
+                s.add("hot");
+            } else {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s.add(&format!("v{}", state % 10_000));
+            }
+        }
+        let c = s.get("hot").expect("heavy hitter must be tracked");
+        let true_count = 10_000u64;
+        assert!(c.count >= true_count, "upper bound");
+        assert!(c.count - c.error <= true_count, "lower bound");
+        assert!(s.definitely_frequent("hot", 0.05));
+        assert!(s.len() <= 64);
+        // Heavy hitters at 5% contain hot.
+        let hh = s.heavy_hitters(0.05);
+        assert!(hh.iter().any(|(k, _)| *k == "hot"));
+    }
+
+    #[test]
+    fn rare_values_are_highlight_candidates() {
+        let mut s = SpaceSaving::for_theta(0.1); // capacity 20
+        for _ in 0..990 {
+            s.add("common");
+        }
+        for i in 0..10 {
+            s.add(&format!("rare{i}"));
+        }
+        assert!(s.definitely_frequent("common", 0.1));
+        assert!(!s.possibly_rare("common", 0.1));
+        for i in 0..10 {
+            assert!(s.possibly_rare(&format!("rare{i}"), 0.1));
+        }
+        // Untracked values are trivially candidates.
+        assert!(s.possibly_rare("never-seen", 0.1));
+    }
+
+    #[test]
+    fn counts_are_always_upper_bounds() {
+        // Property over a skewed stream: tracked estimate ∈ [true, true+err].
+        let mut s = SpaceSaving::new(16);
+        let mut truth: HashMap<String, u64> = HashMap::new();
+        let mut state = 99u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            // Zipf-ish over 200 values.
+            let v = format!("z{}", (state % 200).min(state % 7));
+            *truth.entry(v.clone()).or_insert(0) += 1;
+            s.add(&v);
+        }
+        for (k, c) in &s.counters {
+            let t = truth.get(k).copied().unwrap_or(0);
+            assert!(c.count >= t, "{k}: est {} < true {t}", c.count);
+            assert!(c.count - c.error <= t, "{k}: lower bound violated");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_bounds_and_capacity() {
+        let mut a = SpaceSaving::new(8);
+        let mut b = SpaceSaving::new(8);
+        for _ in 0..500 {
+            a.add("x");
+            b.add("y");
+        }
+        for i in 0..50 {
+            a.add(&format!("a{i}"));
+            b.add(&format!("b{i}"));
+        }
+        let total = a.total() + b.total();
+        a.merge(&b);
+        assert_eq!(a.total(), total);
+        assert!(a.len() <= 8);
+        // Both heavy values survive the merge with valid bounds.
+        for v in ["x", "y"] {
+            let c = a.get(v).expect("heavy value tracked after merge");
+            assert!(c.count >= 500);
+            assert!(c.count - c.error <= 500);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let s = SpaceSaving::new(4);
+        assert!(s.is_empty());
+        assert!(s.heavy_hitters(0.5).is_empty());
+        assert!(!s.definitely_frequent("x", 0.5));
+        let mut s = SpaceSaving::new(1);
+        s.add("a");
+        s.add("b"); // evicts a
+        assert!(s.get("a").is_none());
+        assert_eq!(s.get("b"), Some(Counter { count: 2, error: 1 }));
+    }
+
+    #[test]
+    fn bounded_memory_on_high_cardinality_attribute() {
+        // The motivating case: caller ids. A million distinct subscribers
+        // stay within ~capacity counters.
+        let mut s = SpaceSaving::for_theta(0.01);
+        for i in 0..100_000u64 {
+            s.add(&format!("82{:08}", i % 50_000));
+        }
+        assert!(s.len() <= 208, "len {}", s.len());
+        assert!(s.approx_bytes() < 32 << 10);
+    }
+}

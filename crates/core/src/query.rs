@@ -1,0 +1,276 @@
+//! Data exploration queries `Q(a, b, w)` and their results.
+//!
+//! "A data exploration query Q(a,b,w) consists of an attribute selection
+//! a, a spatial bounding box b, and a temporal window of interest w ...
+//! 'Explore the values of a within the spatial box b and temporal window
+//! w'" (§VI-A).
+
+use crate::index::highlights::{Highlights, Resolution};
+use std::collections::HashSet;
+use telco_trace::cells::{BoundingBox, CellLayout};
+use telco_trace::record::Value;
+use telco_trace::schema::{cdr, Schema, TableKind};
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// A data exploration query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Attribute selection `a` (column names of CDR and/or NMS).
+    pub attributes: Vec<String>,
+    /// Spatial bounding box `b`.
+    pub bbox: BoundingBox,
+    /// Temporal window `w` (inclusive epoch range).
+    pub window: (EpochId, EpochId),
+}
+
+impl Query {
+    pub fn new(attributes: &[&str], bbox: BoundingBox) -> Self {
+        Self {
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+            bbox,
+            window: (EpochId(0), EpochId(0)),
+        }
+    }
+
+    pub fn with_epoch_range(mut self, start: u32, end: u32) -> Self {
+        assert!(start <= end);
+        self.window = (EpochId(start), EpochId(end));
+        self
+    }
+
+    pub fn with_window(mut self, start: EpochId, end: EpochId) -> Self {
+        assert!(start <= end);
+        self.window = (start, end);
+        self
+    }
+
+    /// The requested window length in epochs.
+    pub fn window_len(&self) -> u32 {
+        self.window.1 .0 - self.window.0 .0 + 1
+    }
+}
+
+/// A projected slice of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSlice {
+    pub kind: TableKind,
+    pub column_names: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl TableSlice {
+    fn empty(kind: TableKind) -> Self {
+        Self {
+            kind,
+            column_names: vec![],
+            rows: vec![],
+        }
+    }
+}
+
+/// Exact (full-resolution) answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactResult {
+    pub cdr: TableSlice,
+    pub nms: TableSlice,
+    /// Number of epochs read to answer.
+    pub epochs_read: usize,
+}
+
+/// Result of a data exploration query.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// Full-resolution rows (window within the retained leaves).
+    Exact(ExactResult),
+    /// The window decayed past full resolution: the lowest covering node's
+    /// highlights, spatially filtered. "SPATE might retrieve records for a
+    /// larger period than the one requested ... serves as an implicit
+    /// prefetching mechanism."
+    Summary {
+        resolution: Resolution,
+        highlights: Highlights,
+    },
+    /// Nothing retained covers the window.
+    Unavailable,
+}
+
+impl QueryResult {
+    pub fn is_exact(&self) -> bool {
+        matches!(self, QueryResult::Exact(_))
+    }
+
+    pub fn is_summary(&self) -> bool {
+        matches!(self, QueryResult::Summary { .. })
+    }
+
+    /// Total exact rows across both tables (0 for summaries).
+    pub fn row_count(&self) -> usize {
+        match self {
+            QueryResult::Exact(e) => e.cdr.rows.len() + e.nms.rows.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// Resolve a query's attribute selection against both schemas.
+pub struct Projection {
+    pub cdr_cols: Vec<usize>,
+    pub nms_cols: Vec<usize>,
+    pub cdr_names: Vec<String>,
+    pub nms_names: Vec<String>,
+}
+
+impl Projection {
+    pub fn resolve(attributes: &[String]) -> Self {
+        let cdr_schema = Schema::cdr();
+        let nms_schema = Schema::nms();
+        let mut p = Projection {
+            cdr_cols: vec![],
+            nms_cols: vec![],
+            cdr_names: vec![],
+            nms_names: vec![],
+        };
+        for a in attributes {
+            if let Some(i) = cdr_schema.column_index(a) {
+                p.cdr_cols.push(i);
+                p.cdr_names.push(cdr_schema.column_name(i).to_string());
+            }
+            if let Some(i) = nms_schema.column_index(a) {
+                p.nms_cols.push(i);
+                p.nms_names.push(nms_schema.column_name(i).to_string());
+            }
+        }
+        p
+    }
+}
+
+/// Evaluate the exact branch: project + spatially filter loaded snapshots.
+pub fn project_snapshots(
+    snapshots: &[Snapshot],
+    q: &Query,
+    layout: &CellLayout,
+) -> ExactResult {
+    let projection = Projection::resolve(&q.attributes);
+    let cells: HashSet<u32> = layout.cells_in(&q.bbox).into_iter().collect();
+
+    let mut out = ExactResult {
+        cdr: TableSlice {
+            kind: TableKind::Cdr,
+            column_names: projection.cdr_names.clone(),
+            rows: vec![],
+        },
+        nms: TableSlice {
+            kind: TableKind::Nms,
+            column_names: projection.nms_names.clone(),
+            rows: vec![],
+        },
+        epochs_read: snapshots.len(),
+    };
+    if projection.cdr_cols.is_empty() {
+        out.cdr = TableSlice::empty(TableKind::Cdr);
+    }
+    if projection.nms_cols.is_empty() {
+        out.nms = TableSlice::empty(TableKind::Nms);
+    }
+
+    for snap in snapshots {
+        if !projection.cdr_cols.is_empty() {
+            for r in &snap.cdr {
+                let cell = r.get(cdr::CELL_ID).as_i64().unwrap_or(-1);
+                if cell >= 0 && cells.contains(&(cell as u32)) {
+                    out.cdr
+                        .rows
+                        .push(projection.cdr_cols.iter().map(|&c| r.get(c).clone()).collect());
+                }
+            }
+        }
+        if !projection.nms_cols.is_empty() {
+            for r in &snap.nms {
+                let cell = r
+                    .get(telco_trace::schema::nms::CELL_ID)
+                    .as_i64()
+                    .unwrap_or(-1);
+                if cell >= 0 && cells.contains(&(cell as u32)) {
+                    out.nms
+                        .rows
+                        .push(projection.nms_cols.iter().map(|&c| r.get(c).clone()).collect());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_trace::{TraceConfig, TraceGenerator};
+
+    #[test]
+    fn query_builder() {
+        let q = Query::new(&["upflux", "downflux"], BoundingBox::everything())
+            .with_epoch_range(3, 9);
+        assert_eq!(q.window_len(), 7);
+        assert_eq!(q.attributes.len(), 2);
+    }
+
+    #[test]
+    fn projection_resolves_across_tables() {
+        let p = Projection::resolve(&[
+            "upflux".to_string(),
+            "call_drops".to_string(),
+            "cell_id".to_string(), // present in both tables
+            "nonexistent".to_string(),
+        ]);
+        assert_eq!(p.cdr_cols, vec![cdr::UPFLUX, cdr::CELL_ID]);
+        assert_eq!(
+            p.nms_cols,
+            vec![
+                telco_trace::schema::nms::CALL_DROPS,
+                telco_trace::schema::nms::CELL_ID
+            ]
+        );
+    }
+
+    #[test]
+    fn projection_over_generated_snapshots() {
+        let mut generator = TraceGenerator::new(TraceConfig::tiny());
+        let layout = generator.layout().clone();
+        let snaps: Vec<Snapshot> = (&mut generator).take(2).collect();
+        let q = Query::new(&["upflux", "downflux"], BoundingBox::everything())
+            .with_epoch_range(0, 1);
+        let result = project_snapshots(&snaps, &q, &layout);
+        let total_cdr: usize = snaps.iter().map(|s| s.cdr.len()).sum();
+        assert_eq!(result.cdr.rows.len(), total_cdr);
+        assert_eq!(result.cdr.column_names, vec!["upflux", "downflux"]);
+        assert!(result.nms.rows.is_empty(), "no NMS attrs requested");
+        assert_eq!(result.epochs_read, 2);
+    }
+
+    #[test]
+    fn spatial_filter_reduces_rows() {
+        let mut generator = TraceGenerator::new(TraceConfig::tiny());
+        let layout = generator.layout().clone();
+        let snaps: Vec<Snapshot> = (&mut generator).take(4).collect();
+        let all = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 3);
+        let half_box = BoundingBox::new(0.0, 0.0, 38_000.0, 38_000.0);
+        let half = Query::new(&["upflux"], half_box).with_epoch_range(0, 3);
+        let all_rows = project_snapshots(&snaps, &all, &layout).cdr.rows.len();
+        let half_rows = project_snapshots(&snaps, &half, &layout).cdr.rows.len();
+        assert!(half_rows < all_rows, "{half_rows} vs {all_rows}");
+    }
+
+    #[test]
+    fn result_kind_helpers() {
+        let e = QueryResult::Exact(ExactResult {
+            cdr: TableSlice::empty(TableKind::Cdr),
+            nms: TableSlice::empty(TableKind::Nms),
+            epochs_read: 0,
+        });
+        assert!(e.is_exact());
+        assert!(!e.is_summary());
+        assert_eq!(e.row_count(), 0);
+        assert!(!QueryResult::Unavailable.is_exact());
+    }
+}

@@ -1,0 +1,206 @@
+//! The exploration session cache of the application layer.
+//!
+//! "SPATE might retrieve records for a larger period than the one
+//! requested ... our decision to retrieve a larger period serves as an
+//! implicit prefetching mechanism. When users decide to focus on a smaller
+//! window within w, it is considered as a data exploration query
+//! Q(a,b,w′) with |w′| < |w|, which can be served directly from the cache
+//! of the user interface" (§VI-A).
+//!
+//! An [`ExplorerSession`] wraps a framework and keeps the snapshots of the
+//! last explored window. Zooming into a sub-window (the dominant
+//! interaction pattern of the map UI) re-projects from the cached
+//! snapshots without touching storage; widening or moving the window
+//! refills the cache.
+
+use crate::framework::ExplorationFramework;
+use crate::query::{project_snapshots, Query, QueryResult};
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// Cached state: the snapshots of one contiguous window.
+struct CachedWindow {
+    start: EpochId,
+    end: EpochId,
+    snapshots: Vec<Snapshot>,
+}
+
+/// Session statistics (to observe prefetching working).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries answered purely from the session cache.
+    pub cache_hits: u64,
+    /// Queries that had to go to the framework.
+    pub cache_misses: u64,
+    /// Queries answered as summaries (never cached: already cheap).
+    pub summaries: u64,
+}
+
+/// An interactive exploration session over one framework.
+pub struct ExplorerSession<'a> {
+    fw: &'a dyn ExplorationFramework,
+    cached: Option<CachedWindow>,
+    stats: SessionStats,
+}
+
+impl<'a> ExplorerSession<'a> {
+    pub fn new(fw: &'a dyn ExplorationFramework) -> Self {
+        Self {
+            fw,
+            cached: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Evaluate a query, serving sub-windows of the cached window locally.
+    ///
+    /// Cache hits re-project and re-filter from the cached snapshots, so
+    /// *any* attribute selection and bounding box works against them — the
+    /// cache key is only the temporal window.
+    pub fn explore(&mut self, q: &Query) -> QueryResult {
+        if let Some(c) = &self.cached {
+            if q.window.0 >= c.start && q.window.1 <= c.end {
+                self.stats.cache_hits += 1;
+                let slice: Vec<Snapshot> = c
+                    .snapshots
+                    .iter()
+                    .filter(|s| s.epoch >= q.window.0 && s.epoch <= q.window.1)
+                    .cloned()
+                    .collect();
+                return QueryResult::Exact(project_snapshots(&slice, q, self.fw.layout()));
+            }
+        }
+
+        self.stats.cache_misses += 1;
+        // Full evaluation; exact answers refill the cache.
+        match self.fw.query(q) {
+            QueryResult::Exact(result) => {
+                // Re-load the window's snapshots for the cache (the
+                // framework result is already projected). This is the
+                // "retrieve a larger period" prefetch: keep raw snapshots
+                // so the next zoom-in needs no storage access.
+                let snapshots = self.fw.scan(q.window.0, q.window.1);
+                self.cached = Some(CachedWindow {
+                    start: q.window.0,
+                    end: q.window.1,
+                    snapshots,
+                });
+                QueryResult::Exact(result)
+            }
+            summary @ QueryResult::Summary { .. } => {
+                self.stats.summaries += 1;
+                self.stats.cache_misses -= 1;
+                summary
+            }
+            other => other,
+        }
+    }
+
+    /// Drop the cached window (e.g. after new data arrives).
+    pub fn invalidate(&mut self) {
+        self.cached = None;
+    }
+
+    /// The currently cached window, if any.
+    pub fn cached_window(&self) -> Option<(EpochId, EpochId)> {
+        self.cached.as_ref().map(|c| (c.start, c.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::testutil::tiny_trace;
+    use crate::framework::SpateFramework;
+    use telco_trace::cells::BoundingBox;
+
+    fn session_fixture() -> SpateFramework {
+        let (layout, snaps) = tiny_trace(8);
+        let mut fw = SpateFramework::in_memory(layout);
+        for s in &snaps {
+            fw.ingest(s);
+        }
+        fw
+    }
+
+    #[test]
+    fn zooming_in_hits_the_cache_and_skips_storage() {
+        let fw = session_fixture();
+        let mut session = ExplorerSession::new(&fw);
+
+        // Broad query: cold, reads storage.
+        let broad = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 7);
+        let broad_result = session.explore(&broad);
+        assert!(broad_result.is_exact());
+        assert_eq!(session.stats().cache_misses, 1);
+        assert_eq!(session.cached_window(), Some((EpochId(0), EpochId(7))));
+
+        let reads_before = fw.store().dfs().metrics().reads;
+        // Zoom into a sub-window: served from the session cache.
+        let narrow = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(2, 4);
+        let narrow_result = session.explore(&narrow);
+        assert!(narrow_result.is_exact());
+        assert_eq!(session.stats().cache_hits, 1);
+        assert_eq!(
+            fw.store().dfs().metrics().reads,
+            reads_before,
+            "zoom-in must not touch storage"
+        );
+    }
+
+    #[test]
+    fn cached_answers_match_direct_answers() {
+        let fw = session_fixture();
+        let mut session = ExplorerSession::new(&fw);
+        let broad = Query::new(&["upflux", "downflux"], BoundingBox::everything())
+            .with_epoch_range(0, 7);
+        session.explore(&broad);
+
+        // Different attributes AND different bbox on the cached window.
+        let focus_box = BoundingBox::new(0.0, 0.0, 40_000.0, 40_000.0);
+        let narrow = Query::new(&["duration_s", "call_type"], focus_box).with_epoch_range(1, 5);
+        let via_cache = session.explore(&narrow);
+        let direct = fw.query(&narrow);
+        let (QueryResult::Exact(a), QueryResult::Exact(b)) = (via_cache, direct) else {
+            panic!("expected exact results");
+        };
+        assert_eq!(a.cdr.rows, b.cdr.rows);
+        assert_eq!(a.cdr.column_names, b.cdr.column_names);
+    }
+
+    #[test]
+    fn widening_refills_the_cache() {
+        let fw = session_fixture();
+        let mut session = ExplorerSession::new(&fw);
+        session.explore(
+            &Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(2, 4),
+        );
+        // A wider window misses and replaces the cache.
+        session.explore(
+            &Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 6),
+        );
+        assert_eq!(session.stats().cache_misses, 2);
+        assert_eq!(session.cached_window(), Some((EpochId(0), EpochId(6))));
+        // Now the original window is a cache hit.
+        session.explore(
+            &Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(2, 4),
+        );
+        assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn invalidate_forces_a_reload() {
+        let fw = session_fixture();
+        let mut session = ExplorerSession::new(&fw);
+        let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 3);
+        session.explore(&q);
+        session.invalidate();
+        assert_eq!(session.cached_window(), None);
+        session.explore(&q);
+        assert_eq!(session.stats().cache_misses, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Usage and traffic counters for the simulated filesystem.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Point-in-time filesystem statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsMetrics {
+    /// Number of files in the namespace.
+    pub n_files: u64,
+    /// Number of live blocks.
+    pub n_blocks: u64,
+    /// Sum of file lengths (what `du` on HDFS reports pre-replication).
+    pub logical_bytes: u64,
+    /// Bytes across all datanode replicas (logical × replication).
+    pub physical_bytes: u64,
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed write operations.
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+/// Internal atomic counters.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsInner {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl MetricsInner {
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64, _replication: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delete(&self, _logical: u64, _replicas: u64) {}
+
+    pub(crate) fn snapshot(
+        &self,
+        n_files: u64,
+        n_blocks: u64,
+        logical_bytes: u64,
+        physical_bytes: u64,
+    ) -> DfsMetrics {
+        DfsMetrics {
+            n_files,
+            n_blocks,
+            logical_bytes,
+            physical_bytes,
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsInner::default();
+        m.record_read(10);
+        m.record_read(20);
+        m.record_write(5, 3);
+        let s = m.snapshot(1, 2, 5, 15);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 30);
+        assert_eq!(s.bytes_written, 5);
+        assert_eq!(s.n_files, 1);
+        assert_eq!(s.physical_bytes, 15);
+    }
+}

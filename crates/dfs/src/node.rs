@@ -1,0 +1,99 @@
+//! Datanodes: in-memory block stores with failure injection.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One simulated datanode.
+pub struct DataNode {
+    #[allow(dead_code)]
+    id: usize,
+    blocks: RwLock<HashMap<u64, Vec<u8>>>,
+    bytes: AtomicU64,
+    alive: AtomicBool,
+}
+
+impl DataNode {
+    pub fn new(id: usize) -> Self {
+        Self {
+            id,
+            blocks: RwLock::new(HashMap::new()),
+            bytes: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Crash the node: data is retained but unreachable until revived.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    pub fn put_block(&self, block_id: u64, data: Vec<u8>) {
+        let len = data.len() as u64;
+        let prev = self.blocks.write().insert(block_id, data);
+        debug_assert!(prev.is_none(), "block {block_id} stored twice");
+        self.bytes.fetch_add(len, Ordering::Relaxed);
+    }
+
+    /// Fetch a block if the node is alive and holds it.
+    pub fn get_block(&self, block_id: u64) -> Option<Vec<u8>> {
+        if !self.is_alive() {
+            return None;
+        }
+        self.blocks.read().get(&block_id).cloned()
+    }
+
+    /// Remove a block; returns whether a replica was present.
+    pub fn remove_block(&self, block_id: u64) -> bool {
+        if let Some(data) = self.blocks.write().remove(&block_id) {
+            self.bytes.fetch_sub(data.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes currently stored (counted even while crashed — the disk still
+    /// holds them).
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_lifecycle() {
+        let dn = DataNode::new(0);
+        assert!(dn.is_alive());
+        dn.put_block(1, vec![1, 2, 3]);
+        assert_eq!(dn.bytes_stored(), 3);
+        assert_eq!(dn.get_block(1), Some(vec![1, 2, 3]));
+        assert!(dn.remove_block(1));
+        assert!(!dn.remove_block(1));
+        assert_eq!(dn.bytes_stored(), 0);
+        assert_eq!(dn.get_block(1), None);
+    }
+
+    #[test]
+    fn crashed_nodes_hide_data_until_revival() {
+        let dn = DataNode::new(3);
+        dn.put_block(9, vec![9; 9]);
+        dn.kill();
+        assert!(!dn.is_alive());
+        assert_eq!(dn.get_block(9), None);
+        assert_eq!(dn.bytes_stored(), 9, "disk usage persists through crash");
+        dn.revive();
+        assert_eq!(dn.get_block(9), Some(vec![9; 9]));
+    }
+}

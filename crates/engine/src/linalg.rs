@@ -1,0 +1,123 @@
+//! Minimal dense linear algebra: just enough to solve the normal equations
+//! of ordinary least squares (used by [`crate::ml::linreg`]).
+
+/// A small square linear system `A x = b`, solved in place by Gaussian
+/// elimination with partial pivoting. Returns `None` for (numerically)
+/// singular systems.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n);
+    for row in &a {
+        assert_eq!(row.len(), n);
+    }
+
+    for col in 0..n {
+        // Partial pivot: largest |a[row][col]| among remaining rows.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        let diag = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            // Split borrows: the pivot row is immutable while `row` mutates.
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (x, p) in rest[0].iter_mut().zip(pivot).skip(col) {
+                *x -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Squared Euclidean distance of two equal-length vectors.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5 ; x - y = 1  →  x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn random_systems_round_trip() {
+        // Solve A x = A x0 and recover x0.
+        let n = 6;
+        let mut seed = 0x5EEDu64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..20 {
+            let a: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let x0: Vec<f64> = (0..n).map(|_| next()).collect();
+            let b: Vec<f64> = a
+                .iter()
+                .map(|row| row.iter().zip(&x0).map(|(r, x)| r * x).sum())
+                .collect();
+            if let Some(x) = solve(a, b) {
+                for (got, want) in x.iter().zip(&x0) {
+                    assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_basics() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Generalization hierarchies for quasi-identifiers.
+//!
+//! Each hierarchy defines a ladder of increasingly coarse views of a value;
+//! level 0 is the original value, the top level is full suppression (`*`).
+
+use std::collections::HashMap;
+
+/// A full-domain generalization hierarchy.
+#[derive(Debug, Clone)]
+pub enum Hierarchy {
+    /// Replace the rightmost `level` digits/characters with `*`
+    /// (e.g. phone numbers: `8210000017` → `821000001*` → `82100000**` …).
+    /// The top level (`= levels`) suppresses the whole value.
+    MaskSuffix { levels: u32 },
+    /// Bucket numeric values into ranges whose width doubles per level,
+    /// starting at `base_width` (e.g. durations: `[0,10)` → `[0,20)` …).
+    /// The top level suppresses.
+    NumericRange { base_width: f64, levels: u32 },
+    /// Explicit taxonomy: `maps[i]` rewrites a level-`i` value to its
+    /// level-`i+1` parent (e.g. cell → region → city → `*`). Values missing
+    /// from a map generalize to `*`.
+    Taxonomy { maps: Vec<HashMap<String, String>> },
+}
+
+/// The suppressed value at the hierarchy top.
+pub const SUPPRESSED: &str = "*";
+
+impl Hierarchy {
+    /// Number of generalization steps above level 0.
+    pub fn max_level(&self) -> u32 {
+        match self {
+            Hierarchy::MaskSuffix { levels } => *levels,
+            Hierarchy::NumericRange { levels, .. } => *levels,
+            Hierarchy::Taxonomy { maps } => maps.len() as u32,
+        }
+    }
+
+    /// The level-`level` view of `value`.
+    pub fn generalize(&self, value: &str, level: u32) -> String {
+        if level == 0 {
+            return value.to_string();
+        }
+        if level >= self.max_level() && !matches!(self, Hierarchy::Taxonomy { .. }) {
+            return SUPPRESSED.to_string();
+        }
+        match self {
+            Hierarchy::MaskSuffix { .. } => {
+                let chars: Vec<char> = value.chars().collect();
+                let keep = chars.len().saturating_sub(level as usize);
+                if keep == 0 {
+                    return SUPPRESSED.to_string();
+                }
+                let mut out: String = chars[..keep].iter().collect();
+                out.extend(std::iter::repeat_n('*', chars.len() - keep));
+                out
+            }
+            Hierarchy::NumericRange { base_width, .. } => {
+                let Ok(v) = value.parse::<f64>() else {
+                    return SUPPRESSED.to_string();
+                };
+                let width = base_width * f64::from(1u32 << (level - 1));
+                let lo = (v / width).floor() * width;
+                format!("[{lo:.0},{:.0})", lo + width)
+            }
+            Hierarchy::Taxonomy { maps } => {
+                let mut cur = value.to_string();
+                for map in maps.iter().take(level as usize) {
+                    cur = map.get(&cur).cloned().unwrap_or_else(|| SUPPRESSED.to_string());
+                    if cur == SUPPRESSED {
+                        break;
+                    }
+                }
+                cur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_suffix_ladder() {
+        let h = Hierarchy::MaskSuffix { levels: 4 };
+        assert_eq!(h.max_level(), 4);
+        assert_eq!(h.generalize("8210017", 0), "8210017");
+        assert_eq!(h.generalize("8210017", 1), "821001*");
+        assert_eq!(h.generalize("8210017", 3), "8210***");
+        assert_eq!(h.generalize("8210017", 4), "*");
+        // Values shorter than the mask suppress entirely.
+        assert_eq!(h.generalize("ab", 3), "*");
+    }
+
+    #[test]
+    fn numeric_ranges_widen() {
+        let h = Hierarchy::NumericRange {
+            base_width: 10.0,
+            levels: 3,
+        };
+        assert_eq!(h.generalize("17", 1), "[10,20)");
+        assert_eq!(h.generalize("17", 2), "[0,20)");
+        assert_eq!(h.generalize("37", 2), "[20,40)");
+        assert_eq!(h.generalize("17", 3), "*");
+        assert_eq!(h.generalize("not-a-number", 1), "*");
+    }
+
+    #[test]
+    fn taxonomy_walks_up() {
+        let mut cell_to_region = HashMap::new();
+        cell_to_region.insert("c1".to_string(), "north".to_string());
+        cell_to_region.insert("c2".to_string(), "north".to_string());
+        cell_to_region.insert("c3".to_string(), "south".to_string());
+        let mut region_to_city = HashMap::new();
+        region_to_city.insert("north".to_string(), "nicosia".to_string());
+        region_to_city.insert("south".to_string(), "nicosia".to_string());
+        let h = Hierarchy::Taxonomy {
+            maps: vec![cell_to_region, region_to_city],
+        };
+        assert_eq!(h.max_level(), 2);
+        assert_eq!(h.generalize("c1", 0), "c1");
+        assert_eq!(h.generalize("c1", 1), "north");
+        assert_eq!(h.generalize("c3", 1), "south");
+        assert_eq!(h.generalize("c1", 2), "nicosia");
+        assert_eq!(h.generalize("c3", 2), "nicosia");
+        assert_eq!(h.generalize("unknown", 1), "*");
+    }
+
+    #[test]
+    fn level_zero_is_identity_everywhere() {
+        for h in [
+            Hierarchy::MaskSuffix { levels: 2 },
+            Hierarchy::NumericRange {
+                base_width: 5.0,
+                levels: 2,
+            },
+            Hierarchy::Taxonomy { maps: vec![] },
+        ] {
+            assert_eq!(h.generalize("xyz", 0), "xyz");
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Spatial aggregate quad-tree.
+//!
+//! Each node covers a quadrant of its parent and stores per-measure
+//! aggregates; leaves optionally retain their points. Range queries combine
+//! whole-node aggregates for fully-covered nodes and filter points at
+//! partially-covered leaves — the classic aggregate-index evaluation.
+
+use telco_trace::cells::BoundingBox;
+
+/// Distributive aggregates of one measure over a set of points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggStats {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for AggStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl AggStats {
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    pub fn merge(&mut self, other: &AggStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A point with its tracked measure values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+    /// One value per tracked measure (e.g. `[drops, attempts]`).
+    pub values: Vec<f64>,
+}
+
+/// Quad-tree construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadConfig {
+    /// Max points per leaf before splitting.
+    pub leaf_capacity: usize,
+    /// Max tree depth (bounds degenerate splits on coincident points).
+    pub max_depth: u32,
+    /// Keep raw points in leaves (false for rolled-up aggregate-only trees).
+    pub retain_points: bool,
+}
+
+impl Default for QuadConfig {
+    fn default() -> Self {
+        Self {
+            leaf_capacity: 64,
+            max_depth: 12,
+            retain_points: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum NodeBody {
+    Leaf(Vec<Point>),
+    /// NW, NE, SW, SE
+    Inner(Box<[QuadNode; 4]>),
+    /// Aggregate-only node (points discarded).
+    Pruned,
+}
+
+#[derive(Debug)]
+struct QuadNode {
+    bounds: BoundingBox,
+    /// Aggregates per tracked measure over all points below this node.
+    stats: Vec<AggStats>,
+    body: NodeBody,
+}
+
+/// The spatial aggregate index over one temporal unit.
+#[derive(Debug)]
+pub struct QuadTree {
+    root: QuadNode,
+    n_measures: usize,
+    config: QuadConfig,
+    len: usize,
+}
+
+fn quadrants(b: &BoundingBox) -> [BoundingBox; 4] {
+    let mx = (b.min_x + b.max_x) / 2.0;
+    let my = (b.min_y + b.max_y) / 2.0;
+    [
+        BoundingBox::new(b.min_x, my, mx, b.max_y),     // NW
+        BoundingBox::new(mx, my, b.max_x, b.max_y),     // NE
+        BoundingBox::new(b.min_x, b.min_y, mx, my),     // SW
+        BoundingBox::new(mx, b.min_y, b.max_x, my),     // SE
+    ]
+}
+
+fn quadrant_of(b: &BoundingBox, x: f64, y: f64) -> usize {
+    let mx = (b.min_x + b.max_x) / 2.0;
+    let my = (b.min_y + b.max_y) / 2.0;
+    match (x < mx, y < my) {
+        (true, false) => 0,
+        (false, false) => 1,
+        (true, true) => 2,
+        (false, true) => 3,
+    }
+}
+
+/// True when `outer` fully covers `inner`.
+fn covers(outer: &BoundingBox, inner: &BoundingBox) -> bool {
+    outer.min_x <= inner.min_x
+        && outer.min_y <= inner.min_y
+        && outer.max_x >= inner.max_x
+        && outer.max_y >= inner.max_y
+}
+
+impl QuadNode {
+    fn new_leaf(bounds: BoundingBox, n_measures: usize) -> Self {
+        Self {
+            bounds,
+            stats: vec![AggStats::empty(); n_measures],
+            body: NodeBody::Leaf(Vec::new()),
+        }
+    }
+
+    fn insert(&mut self, p: Point, depth: u32, config: &QuadConfig) {
+        for (s, &v) in self.stats.iter_mut().zip(&p.values) {
+            s.add(v);
+        }
+        match &mut self.body {
+            NodeBody::Leaf(points) => {
+                points.push(p);
+                if points.len() > config.leaf_capacity && depth < config.max_depth {
+                    // Split: redistribute into quadrants.
+                    let moved = std::mem::take(points);
+                    let n_measures = self.stats.len();
+                    let mut children: Box<[QuadNode; 4]> = Box::new(
+                        quadrants(&self.bounds).map(|b| QuadNode::new_leaf(b, n_measures)),
+                    );
+                    for q in moved {
+                        let c = quadrant_of(&self.bounds, q.x, q.y);
+                        children[c].insert(q, depth + 1, config);
+                    }
+                    self.body = NodeBody::Inner(children);
+                }
+            }
+            NodeBody::Inner(children) => {
+                let c = quadrant_of(&self.bounds, p.x, p.y);
+                children[c].insert(p, depth + 1, config);
+            }
+            NodeBody::Pruned => {}
+        }
+    }
+
+    fn query(&self, bbox: &BoundingBox, out: &mut [AggStats]) {
+        if !bbox.intersects(&self.bounds) {
+            return;
+        }
+        if covers(bbox, &self.bounds) {
+            for (o, s) in out.iter_mut().zip(&self.stats) {
+                o.merge(s);
+            }
+            return;
+        }
+        match &self.body {
+            NodeBody::Leaf(points) => {
+                for p in points {
+                    if bbox.contains(p.x, p.y) {
+                        for (o, &v) in out.iter_mut().zip(&p.values) {
+                            o.add(v);
+                        }
+                    }
+                }
+            }
+            NodeBody::Inner(children) => {
+                for c in children.iter() {
+                    c.query(bbox, out);
+                }
+            }
+            NodeBody::Pruned => {
+                // Aggregate-only subtree partially overlapped: the caller
+                // accepted approximate answers at this resolution; attribute
+                // the whole node (SHAHED's coarse-granule behaviour).
+                for (o, s) in out.iter_mut().zip(&self.stats) {
+                    o.merge(s);
+                }
+            }
+        }
+    }
+
+    fn query_points<'a>(&'a self, bbox: &BoundingBox, out: &mut Vec<&'a Point>) {
+        if !bbox.intersects(&self.bounds) {
+            return;
+        }
+        match &self.body {
+            NodeBody::Leaf(points) => {
+                for p in points {
+                    if bbox.contains(p.x, p.y) {
+                        out.push(p);
+                    }
+                }
+            }
+            NodeBody::Inner(children) => {
+                for c in children.iter() {
+                    c.query_points(bbox, out);
+                }
+            }
+            NodeBody::Pruned => {}
+        }
+    }
+
+    fn drop_points(&mut self) {
+        match &mut self.body {
+            NodeBody::Leaf(_) => self.body = NodeBody::Pruned,
+            NodeBody::Inner(children) => {
+                for c in children.iter_mut() {
+                    c.drop_points();
+                }
+            }
+            NodeBody::Pruned => {}
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let own = std::mem::size_of::<QuadNode>()
+            + self.stats.capacity() * std::mem::size_of::<AggStats>();
+        own + match &self.body {
+            NodeBody::Leaf(points) => {
+                points.capacity() * std::mem::size_of::<Point>()
+                    + points
+                        .iter()
+                        .map(|p| p.values.capacity() * std::mem::size_of::<f64>())
+                        .sum::<usize>()
+            }
+            NodeBody::Inner(children) => children.iter().map(QuadNode::memory_bytes).sum(),
+            NodeBody::Pruned => 0,
+        }
+    }
+}
+
+impl QuadTree {
+    /// Create an empty tree over `bounds` tracking `n_measures` measures.
+    pub fn new(bounds: BoundingBox, n_measures: usize, config: QuadConfig) -> Self {
+        Self {
+            root: QuadNode::new_leaf(bounds, n_measures),
+            n_measures,
+            config,
+            len: 0,
+        }
+    }
+
+    /// Build a tree from points.
+    pub fn build(
+        bounds: BoundingBox,
+        n_measures: usize,
+        config: QuadConfig,
+        points: impl IntoIterator<Item = Point>,
+    ) -> Self {
+        let mut t = Self::new(bounds, n_measures, config);
+        for p in points {
+            t.insert(p);
+        }
+        if !config.retain_points {
+            t.root.drop_points();
+        }
+        t
+    }
+
+    pub fn insert(&mut self, p: Point) {
+        debug_assert_eq!(p.values.len(), self.n_measures);
+        debug_assert!(self.root.bounds.contains(p.x, p.y), "point outside bounds");
+        self.root.insert(p, 0, &self.config);
+        self.len += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn n_measures(&self) -> usize {
+        self.n_measures
+    }
+
+    /// Aggregate all measures over `bbox`.
+    pub fn query(&self, bbox: &BoundingBox) -> Vec<AggStats> {
+        let mut out = vec![AggStats::empty(); self.n_measures];
+        self.root.query(bbox, &mut out);
+        out
+    }
+
+    /// All points inside `bbox` (empty for aggregate-only trees).
+    pub fn query_points(&self, bbox: &BoundingBox) -> Vec<&Point> {
+        let mut out = Vec::new();
+        self.root.query_points(bbox, &mut out);
+        out
+    }
+
+    /// Discard retained points, keeping aggregates (day/month/year rollups).
+    pub fn drop_points(&mut self) {
+        self.root.drop_points();
+    }
+
+    /// Rough in-memory footprint, for the space experiments.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<QuadTree>() + self.root.memory_bytes()
+    }
+
+    /// Whole-tree aggregates (the root's stats).
+    pub fn totals(&self) -> &[AggStats] {
+        &self.root.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> BoundingBox {
+        BoundingBox::new(0.0, 0.0, 1000.0, 1000.0)
+    }
+
+    fn grid_points(n_side: u32) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                let x = f64::from(i) * 1000.0 / f64::from(n_side) + 0.5;
+                let y = f64::from(j) * 1000.0 / f64::from(n_side) + 0.5;
+                pts.push(Point {
+                    x,
+                    y,
+                    values: vec![1.0, f64::from(i + j)],
+                });
+            }
+        }
+        pts
+    }
+
+    fn brute_force(points: &[Point], bbox: &BoundingBox, measure: usize) -> AggStats {
+        let mut s = AggStats::empty();
+        for p in points {
+            if bbox.contains(p.x, p.y) {
+                s.add(p.values[measure]);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn aggregates_match_brute_force() {
+        let points = grid_points(40);
+        let tree = QuadTree::build(region(), 2, QuadConfig::default(), points.clone());
+        assert_eq!(tree.len(), 1600);
+
+        for bbox in [
+            region(),
+            BoundingBox::new(0.0, 0.0, 500.0, 500.0),
+            BoundingBox::new(250.0, 250.0, 300.0, 900.0),
+            BoundingBox::new(999.0, 999.0, 1000.0, 1000.0),
+            BoundingBox::new(10.0, 10.0, 10.1, 10.1),
+        ] {
+            let got = tree.query(&bbox);
+            for (m, g) in got.iter().enumerate() {
+                let want = brute_force(&points, &bbox, m);
+                assert_eq!(g.count, want.count, "{bbox:?} measure {m}");
+                assert!((g.sum - want.sum).abs() < 1e-9);
+                if want.count > 0 {
+                    assert_eq!(g.min, want.min);
+                    assert_eq!(g.max, want.max);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_queries_match_brute_force() {
+        let points = grid_points(25);
+        let tree = QuadTree::build(region(), 2, QuadConfig::default(), points.clone());
+        let bbox = BoundingBox::new(100.0, 200.0, 400.0, 650.0);
+        let got = tree.query_points(&bbox);
+        let want = points
+            .iter()
+            .filter(|p| bbox.contains(p.x, p.y))
+            .count();
+        assert_eq!(got.len(), want);
+        assert!(got.iter().all(|p| bbox.contains(p.x, p.y)));
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = QuadTree::new(region(), 1, QuadConfig::default());
+        assert!(tree.is_empty());
+        let s = tree.query(&region());
+        assert!(s[0].is_empty());
+        assert_eq!(s[0].mean(), 0.0);
+        assert!(tree.query_points(&region()).is_empty());
+    }
+
+    #[test]
+    fn coincident_points_respect_max_depth() {
+        let config = QuadConfig {
+            leaf_capacity: 2,
+            max_depth: 5,
+            retain_points: true,
+        };
+        // 100 identical points would split forever without the depth bound.
+        let points = (0..100).map(|i| Point {
+            x: 123.0,
+            y: 456.0,
+            values: vec![f64::from(i)],
+        });
+        let tree = QuadTree::build(region(), 1, config, points);
+        assert_eq!(tree.len(), 100);
+        let s = tree.query(&region());
+        assert_eq!(s[0].count, 100);
+        assert_eq!(s[0].min, 0.0);
+        assert_eq!(s[0].max, 99.0);
+    }
+
+    #[test]
+    fn aggregate_only_trees_drop_points_but_keep_stats() {
+        let points = grid_points(20);
+        let config = QuadConfig {
+            retain_points: false,
+            ..QuadConfig::default()
+        };
+        let mut tree = QuadTree::build(region(), 2, config, points.clone());
+        assert!(tree.query_points(&region()).is_empty());
+        // Full-region aggregates are exact.
+        let got = tree.query(&region());
+        let want = brute_force(&points, &region(), 0);
+        assert_eq!(got[0].count, want.count);
+        // Memory shrinks vs a retained tree.
+        let retained = QuadTree::build(region(), 2, QuadConfig::default(), points);
+        assert!(tree.memory_bytes() < retained.memory_bytes());
+        tree.drop_points(); // idempotent
+    }
+
+    #[test]
+    fn totals_are_root_aggregates() {
+        let points = grid_points(10);
+        let tree = QuadTree::build(region(), 2, QuadConfig::default(), points);
+        assert_eq!(tree.totals()[0].count, 100);
+        assert_eq!(tree.totals()[0].sum, 100.0);
+    }
+
+    #[test]
+    fn agg_stats_merge() {
+        let mut a = AggStats::empty();
+        a.add(5.0);
+        a.add(1.0);
+        let mut b = AggStats::empty();
+        b.add(10.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 16.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 10.0);
+        assert!((a.mean() - 16.0 / 3.0).abs() < 1e-12);
+    }
+}

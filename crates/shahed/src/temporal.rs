@@ -1,0 +1,314 @@
+//! The temporal hierarchy over spatial quad-trees: per-epoch trees with
+//! retained points, plus aggregate-only rollups per day, month and year.
+//!
+//! Range queries decompose the temporal window greedily into the coarsest
+//! covering units (year > month > day > epoch), exactly how multi-level
+//! aggregate indexes answer long-window queries in constant work per unit.
+
+use crate::quadtree::{AggStats, Point, QuadConfig, QuadTree};
+use std::collections::BTreeMap;
+use telco_trace::cells::BoundingBox;
+use telco_trace::time::{days_in_month, EpochId, EPOCHS_PER_DAY};
+
+/// Key of a month node: `(year, month)`.
+type MonthKey = (u32, u32);
+
+/// The SHAHED-style index.
+pub struct ShahedIndex {
+    bounds: BoundingBox,
+    n_measures: usize,
+    epoch_config: QuadConfig,
+    epochs: BTreeMap<u32, QuadTree>,
+    days: BTreeMap<u32, QuadTree>,
+    months: BTreeMap<MonthKey, QuadTree>,
+    years: BTreeMap<u32, QuadTree>,
+    /// Points of the day currently being filled (for the day rollup).
+    day_buffer: Vec<Point>,
+    current_day: Option<u32>,
+    /// Month/year accumulation buffers (aggregate-only, so just points).
+    month_buffer: Vec<Point>,
+    current_month: Option<MonthKey>,
+    year_buffer: Vec<Point>,
+    current_year: Option<u32>,
+}
+
+impl ShahedIndex {
+    pub fn new(bounds: BoundingBox, n_measures: usize) -> Self {
+        Self {
+            bounds,
+            n_measures,
+            epoch_config: QuadConfig::default(),
+            epochs: BTreeMap::new(),
+            days: BTreeMap::new(),
+            months: BTreeMap::new(),
+            years: BTreeMap::new(),
+            day_buffer: Vec::new(),
+            current_day: None,
+            month_buffer: Vec::new(),
+            current_month: None,
+            year_buffer: Vec::new(),
+            current_year: None,
+        }
+    }
+
+    fn agg_config() -> QuadConfig {
+        QuadConfig {
+            retain_points: false,
+            ..QuadConfig::default()
+        }
+    }
+
+    fn flush_day(&mut self) {
+        if let Some(day) = self.current_day.take() {
+            let pts = std::mem::take(&mut self.day_buffer);
+            let tree = QuadTree::build(self.bounds, self.n_measures, Self::agg_config(), pts);
+            self.days.insert(day, tree);
+        }
+    }
+
+    fn flush_month(&mut self) {
+        if let Some(key) = self.current_month.take() {
+            let pts = std::mem::take(&mut self.month_buffer);
+            let tree = QuadTree::build(self.bounds, self.n_measures, Self::agg_config(), pts);
+            self.months.insert(key, tree);
+        }
+    }
+
+    fn flush_year(&mut self) {
+        if let Some(year) = self.current_year.take() {
+            let pts = std::mem::take(&mut self.year_buffer);
+            let tree = QuadTree::build(self.bounds, self.n_measures, Self::agg_config(), pts);
+            self.years.insert(year, tree);
+        }
+    }
+
+    /// Ingest one epoch's points. Epochs must arrive in increasing order.
+    pub fn insert_epoch(&mut self, epoch: EpochId, points: Vec<Point>) {
+        let day = epoch.day_index();
+        let civil = epoch.civil();
+        let month_key = (civil.year, civil.month);
+
+        if self.current_day != Some(day) {
+            self.flush_day();
+            self.current_day = Some(day);
+        }
+        if self.current_month != Some(month_key) {
+            self.flush_month();
+            self.current_month = Some(month_key);
+        }
+        if self.current_year != Some(civil.year) {
+            self.flush_year();
+            self.current_year = Some(civil.year);
+        }
+
+        self.day_buffer.extend(points.iter().cloned());
+        self.month_buffer.extend(points.iter().cloned());
+        self.year_buffer.extend(points.iter().cloned());
+
+        let tree = QuadTree::build(self.bounds, self.n_measures, self.epoch_config, points);
+        self.epochs.insert(epoch.0, tree);
+    }
+
+    /// Flush open day/month/year buffers (call after the last epoch).
+    pub fn finalize(&mut self) {
+        self.flush_day();
+        self.flush_month();
+        self.flush_year();
+    }
+
+    pub fn n_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    pub fn n_measures(&self) -> usize {
+        self.n_measures
+    }
+
+    /// Aggregate query over `bbox` for the inclusive epoch window.
+    ///
+    /// The window decomposes greedily into whole years, whole months, whole
+    /// days, and residual epochs. Results are exact: rolled-up
+    /// (aggregate-only) trees are consulted only when `bbox` covers the
+    /// whole region — for spatially-partial queries the full-resolution
+    /// epoch trees answer, since a pruned rollup node cannot split its
+    /// aggregate across a partial overlap.
+    pub fn query_agg(&self, bbox: &BoundingBox, start: EpochId, end: EpochId) -> Vec<AggStats> {
+        let full_region = bbox.min_x <= self.bounds.min_x
+            && bbox.min_y <= self.bounds.min_y
+            && bbox.max_x >= self.bounds.max_x
+            && bbox.max_y >= self.bounds.max_y;
+        let mut out = vec![AggStats::empty(); self.n_measures];
+        let mut e = start.0;
+        while e <= end.0 {
+            let id = EpochId(e);
+            let civil = id.civil();
+            // Whole-year shortcut.
+            if full_region && civil.month == 1 && civil.day == 1 && id.epoch_in_day() == 0 {
+                let year_epochs: u32 = (1..=12)
+                    .map(|m| days_in_month(civil.year, m) * EPOCHS_PER_DAY)
+                    .sum();
+                if e + year_epochs - 1 <= end.0 {
+                    if let Some(tree) = self.years.get(&civil.year) {
+                        merge_into(&mut out, &tree.query(bbox));
+                        e += year_epochs;
+                        continue;
+                    }
+                }
+            }
+            // Whole-month shortcut.
+            if full_region && civil.day == 1 && id.epoch_in_day() == 0 {
+                let month_epochs = days_in_month(civil.year, civil.month) * EPOCHS_PER_DAY;
+                if e + month_epochs - 1 <= end.0 {
+                    if let Some(tree) = self.months.get(&(civil.year, civil.month)) {
+                        merge_into(&mut out, &tree.query(bbox));
+                        e += month_epochs;
+                        continue;
+                    }
+                }
+            }
+            // Whole-day shortcut.
+            if full_region && id.epoch_in_day() == 0 && e + EPOCHS_PER_DAY - 1 <= end.0 {
+                if let Some(tree) = self.days.get(&id.day_index()) {
+                    merge_into(&mut out, &tree.query(bbox));
+                    e += EPOCHS_PER_DAY;
+                    continue;
+                }
+            }
+            if let Some(tree) = self.epochs.get(&e) {
+                merge_into(&mut out, &tree.query(bbox));
+            }
+            e += 1;
+        }
+        out
+    }
+
+    /// Exact points over `bbox` for the window (epoch trees only).
+    pub fn query_points(&self, bbox: &BoundingBox, start: EpochId, end: EpochId) -> Vec<&Point> {
+        let mut out = Vec::new();
+        for (_, tree) in self.epochs.range(start.0..=end.0) {
+            out.extend(tree.query_points(bbox));
+        }
+        out
+    }
+
+    /// Approximate memory footprint of the whole hierarchy.
+    pub fn memory_bytes(&self) -> usize {
+        let trees = self
+            .epochs
+            .values()
+            .chain(self.days.values())
+            .chain(self.months.values())
+            .chain(self.years.values());
+        trees.map(QuadTree::memory_bytes).sum()
+    }
+}
+
+fn merge_into(out: &mut [AggStats], add: &[AggStats]) {
+    for (o, a) in out.iter_mut().zip(add) {
+        o.merge(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> BoundingBox {
+        BoundingBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    /// One point per epoch at a grid position, value = epoch index.
+    fn build_index(n_epochs: u32) -> ShahedIndex {
+        let mut idx = ShahedIndex::new(bounds(), 1);
+        for e in 0..n_epochs {
+            let p = Point {
+                x: f64::from(e % 10) * 10.0 + 1.0,
+                y: f64::from((e / 10) % 10) * 10.0 + 1.0,
+                values: vec![f64::from(e)],
+            };
+            idx.insert_epoch(EpochId(e), vec![p]);
+        }
+        idx.finalize();
+        idx
+    }
+
+    #[test]
+    fn aggregates_across_epochs() {
+        let idx = build_index(10);
+        let s = idx.query_agg(&bounds(), EpochId(0), EpochId(9));
+        assert_eq!(s[0].count, 10);
+        assert_eq!(s[0].sum, 45.0);
+        // Partial window.
+        let s = idx.query_agg(&bounds(), EpochId(3), EpochId(5));
+        assert_eq!(s[0].count, 3);
+        assert_eq!(s[0].sum, 12.0);
+    }
+
+    #[test]
+    fn day_rollups_are_used_and_exact() {
+        // Three whole days of data.
+        let idx = build_index(3 * EPOCHS_PER_DAY);
+        assert_eq!(idx.days.len(), 3);
+        let s = idx.query_agg(&bounds(), EpochId(0), EpochId(3 * EPOCHS_PER_DAY - 1));
+        assert_eq!(s[0].count, u64::from(3 * EPOCHS_PER_DAY));
+        let expect_sum: f64 = (0..3 * EPOCHS_PER_DAY).map(f64::from).sum();
+        assert!((s[0].sum - expect_sum).abs() < 1e-9);
+        // Misaligned window must still be exact (mixes days and epochs).
+        let s = idx.query_agg(&bounds(), EpochId(5), EpochId(2 * EPOCHS_PER_DAY + 7));
+        let expect: f64 = (5..=2 * EPOCHS_PER_DAY + 7).map(f64::from).sum();
+        assert!((s[0].sum - expect).abs() < 1e-9);
+        assert_eq!(s[0].count, u64::from(2 * EPOCHS_PER_DAY + 3));
+    }
+
+    #[test]
+    fn spatial_filter_applies() {
+        let idx = build_index(100);
+        // Only points with x in [0,20): grid columns 0 and 1 (e%10 ∈ {0,1}).
+        let west = BoundingBox::new(0.0, 0.0, 20.0, 100.0);
+        let s = idx.query_agg(&west, EpochId(0), EpochId(99));
+        assert_eq!(s[0].count, 20);
+        let pts = idx.query_points(&west, EpochId(0), EpochId(99));
+        assert_eq!(pts.len(), 20);
+        assert!(pts.iter().all(|p| p.x < 20.0));
+    }
+
+    #[test]
+    fn point_queries_respect_window() {
+        let idx = build_index(50);
+        let pts = idx.query_points(&bounds(), EpochId(10), EpochId(19));
+        assert_eq!(pts.len(), 10);
+        let vals: Vec<f64> = pts.iter().map(|p| p.values[0]).collect();
+        assert!(vals.iter().all(|&v| (10.0..20.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_windows_and_missing_epochs() {
+        let idx = build_index(5);
+        let s = idx.query_agg(&bounds(), EpochId(100), EpochId(200));
+        assert!(s[0].is_empty());
+        assert!(idx.query_points(&bounds(), EpochId(100), EpochId(200)).is_empty());
+    }
+
+    #[test]
+    fn month_rollup_exists_after_full_month() {
+        // The trace starts Jan 18, 2016: a full January never happens, but
+        // 14 days gets us into February, flushing the January partial.
+        let idx = build_index(15 * EPOCHS_PER_DAY);
+        assert!(idx.months.contains_key(&(2016, 1)));
+        assert_eq!(idx.n_epochs(), (15 * EPOCHS_PER_DAY) as usize);
+        // Queries across the boundary remain exact.
+        let s = idx.query_agg(
+            &bounds(),
+            EpochId(13 * EPOCHS_PER_DAY),
+            EpochId(15 * EPOCHS_PER_DAY - 1),
+        );
+        assert_eq!(s[0].count, u64::from(2 * EPOCHS_PER_DAY));
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_data() {
+        let small = build_index(10);
+        let large = build_index(200);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: the aggregate quad-tree must agree with brute force for
+//! every point set and query box.
+
+use proptest::prelude::*;
+use shahed::{AggStats, Point, QuadConfig, QuadTree};
+use telco_trace::cells::BoundingBox;
+
+const SIDE: f64 = 1000.0;
+
+fn region() -> BoundingBox {
+    BoundingBox::new(0.0, 0.0, SIDE, SIDE)
+}
+
+fn brute(points: &[Point], bbox: &BoundingBox) -> AggStats {
+    let mut s = AggStats::empty();
+    for p in points {
+        if bbox.contains(p.x, p.y) {
+            s.add(p.values[0]);
+        }
+    }
+    s
+}
+
+prop_compose! {
+    fn arb_point()(x in 0.0..SIDE, y in 0.0..SIDE, v in -100.0..100.0) -> Point {
+        Point { x, y, values: vec![v] }
+    }
+}
+
+prop_compose! {
+    fn arb_bbox()(x0 in 0.0..SIDE, y0 in 0.0..SIDE, w in 0.0..SIDE, h in 0.0..SIDE) -> BoundingBox {
+        BoundingBox::new(x0, y0, (x0 + w).min(SIDE), (y0 + h).min(SIDE))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aggregates_match_brute_force(
+        points in proptest::collection::vec(arb_point(), 0..300),
+        bbox in arb_bbox(),
+        leaf_capacity in 1usize..32,
+    ) {
+        let config = QuadConfig { leaf_capacity, max_depth: 10, retain_points: true };
+        let tree = QuadTree::build(region(), 1, config, points.clone());
+        let got = tree.query(&bbox)[0];
+        let want = brute(&points, &bbox);
+        prop_assert_eq!(got.count, want.count);
+        prop_assert!((got.sum - want.sum).abs() < 1e-6);
+        if want.count > 0 {
+            prop_assert_eq!(got.min, want.min);
+            prop_assert_eq!(got.max, want.max);
+        }
+    }
+
+    #[test]
+    fn point_queries_match_brute_force(
+        points in proptest::collection::vec(arb_point(), 0..300),
+        bbox in arb_bbox(),
+    ) {
+        let tree = QuadTree::build(region(), 1, QuadConfig::default(), points.clone());
+        let got = tree.query_points(&bbox);
+        let want = points.iter().filter(|p| bbox.contains(p.x, p.y)).count();
+        prop_assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn root_totals_see_every_point(points in proptest::collection::vec(arb_point(), 0..200)) {
+        let tree = QuadTree::build(region(), 1, QuadConfig::default(), points.clone());
+        prop_assert_eq!(tree.totals()[0].count, points.len() as u64);
+        prop_assert_eq!(tree.len(), points.len());
+    }
+}

@@ -1,0 +1,193 @@
+//! SQL abstract syntax.
+
+/// A (possibly qualified) column reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// Table alias qualifier, e.g. `a` in `a.caller_id`.
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+/// Scalar expressions usable in WHERE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    StringLit(String),
+    Number(f64),
+    /// Binary comparison.
+    Compare {
+        left: Box<Expr>,
+        op: CompareOp,
+        right: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// `expr IN (SELECT …)` (uncorrelated subquery) — `negated` for NOT IN.
+    InSubquery {
+        expr: Box<Expr>,
+        subquery: Box<SelectStatement>,
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, …)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high` (inclusive).
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr LIKE 'pattern'` with `%` (any run) and `_` (one char).
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// Aggregate call usable in HAVING, e.g. `SUM(call_drops) > 5`.
+    AggregateCall {
+        func: AggFunc,
+        column: Option<ColumnRef>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Plain column, with optional alias.
+    Column(ColumnRef, Option<String>),
+    /// Aggregate over a column, or `COUNT(*)` when `column` is `None`.
+    Aggregate {
+        func: AggFunc,
+        column: Option<ColumnRef>,
+        alias: Option<String>,
+    },
+}
+
+/// One FROM entry: table name plus optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table binds in the query's namespace.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Sort key: 1-based output column position or named column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    Position(usize),
+    Column(ColumnRef),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    pub key: OrderKey,
+    pub descending: bool,
+}
+
+/// A full SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// `SELECT DISTINCT`: deduplicate output rows.
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<ColumnRef>,
+    /// Post-aggregation filter (may reference aggregate calls).
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderBy>,
+    pub limit: Option<usize>,
+}
+
+impl SelectStatement {
+    /// Does the select list contain any aggregate?
+    pub fn has_aggregates(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_func_names_round_trip() {
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+            assert_eq!(AggFunc::from_name(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("MEDIAN"), None);
+    }
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef {
+            table: "CDR".into(),
+            alias: Some("a".into()),
+        };
+        assert_eq!(t.binding(), "a");
+        let t = TableRef {
+            table: "NMS".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), "NMS");
+    }
+}

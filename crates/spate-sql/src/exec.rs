@@ -1,0 +1,817 @@
+//! SQL execution over an exploration framework.
+//!
+//! The pipeline is the textbook one: FROM (hash join where an equi-join
+//! conjunct exists, nested-loop product otherwise) → WHERE → GROUP BY /
+//! aggregate → ORDER BY → LIMIT → projection. Tables materialize from the
+//! bound framework's storage: `CDR`/`NMS` from the context window's
+//! snapshots, `CELL` from the static layout.
+
+use crate::ast::*;
+use spate_core::framework::ExplorationFramework;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use telco_trace::record::Value;
+use telco_trace::schema::{Schema, TableKind};
+use telco_trace::time::EpochId;
+
+/// Errors from parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    Parse(String),
+    UnknownTable(String),
+    UnknownColumn(String),
+    AmbiguousColumn(String),
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// A query result: column names and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text table (the Hue-style console view).
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::as_text).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(c);
+                out.extend(std::iter::repeat_n(' ', w - c.len()));
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.columns.to_vec(), &widths, &mut out);
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len().max(1) - 1)));
+        out.push('\n');
+        for row in &rendered {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Execution context: a framework plus the temporal window queries run
+/// over (SPATE-SQL sessions are always scoped to an exploration window).
+pub struct SqlContext<'a> {
+    fw: &'a dyn ExplorationFramework,
+    window: (EpochId, EpochId),
+}
+
+impl<'a> SqlContext<'a> {
+    pub fn new(fw: &'a dyn ExplorationFramework, start: EpochId, end: EpochId) -> Self {
+        assert!(start <= end);
+        Self {
+            fw,
+            window: (start, end),
+        }
+    }
+
+    /// Convenience: parse + execute.
+    pub fn query(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        crate::query(self, sql)
+    }
+
+    fn table(&self, name: &str) -> Result<(Schema, Vec<Vec<Value>>), SqlError> {
+        let kind =
+            TableKind::from_name(name).ok_or_else(|| SqlError::UnknownTable(name.to_string()))?;
+        let schema = Schema::for_kind(kind);
+        let rows = match kind {
+            TableKind::Cdr => self
+                .fw
+                .scan(self.window.0, self.window.1)
+                .into_iter()
+                .flat_map(|s| s.cdr.into_iter().map(|r| r.values))
+                .collect(),
+            TableKind::Nms => self
+                .fw
+                .scan(self.window.0, self.window.1)
+                .into_iter()
+                .flat_map(|s| s.nms.into_iter().map(|r| r.values))
+                .collect(),
+            TableKind::Cell => self
+                .fw
+                .layout()
+                .to_records()
+                .into_iter()
+                .map(|r| r.values)
+                .collect(),
+        };
+        Ok((schema, rows))
+    }
+}
+
+/// One bound table in the FROM namespace.
+struct Binding {
+    name: String,
+    schema: Schema,
+    offset: usize,
+}
+
+struct Namespace {
+    bindings: Vec<Binding>,
+    width: usize,
+}
+
+impl Namespace {
+    fn resolve(&self, col: &ColumnRef) -> Result<usize, SqlError> {
+        let mut found = None;
+        for b in &self.bindings {
+            if let Some(q) = &col.qualifier {
+                if !b.name.eq_ignore_ascii_case(q) {
+                    continue;
+                }
+            }
+            if let Some(i) = b.schema.column_index(&col.name) {
+                if found.is_some() {
+                    return Err(SqlError::AmbiguousColumn(col.name.clone()));
+                }
+                found = Some(b.offset + i);
+            }
+        }
+        found.ok_or_else(|| {
+            SqlError::UnknownColumn(match &col.qualifier {
+                Some(q) => format!("{q}.{}", col.name),
+                None => col.name.clone(),
+            })
+        })
+    }
+
+    /// All column names, qualified when more than one table is bound.
+    fn all_columns(&self) -> Vec<String> {
+        let qualify = self.bindings.len() > 1;
+        let mut out = Vec::with_capacity(self.width);
+        for b in &self.bindings {
+            for c in &b.schema.columns {
+                if qualify {
+                    out.push(format!("{}.{}", b.name, c.name));
+                } else {
+                    out.push(c.name.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Execute a parsed statement.
+pub fn execute(ctx: &SqlContext<'_>, stmt: &SelectStatement) -> Result<ResultSet, SqlError> {
+    // Bind FROM tables.
+    if stmt.from.is_empty() {
+        return Err(SqlError::Unsupported("FROM is required".into()));
+    }
+    let mut bindings = Vec::new();
+    let mut tables = Vec::new();
+    let mut offset = 0;
+    for t in &stmt.from {
+        let (schema, rows) = ctx.table(&t.table)?;
+        let width = schema.width();
+        bindings.push(Binding {
+            name: t.binding().to_string(),
+            schema,
+            offset,
+        });
+        offset += width;
+        tables.push(rows);
+    }
+    let ns = Namespace {
+        bindings,
+        width: offset,
+    };
+
+    // Pre-evaluate uncorrelated subqueries into value sets.
+    let mut sub_sets: Vec<HashSet<String>> = Vec::new();
+    let predicate = match &stmt.predicate {
+        Some(p) => Some(lower_subqueries(ctx, p, &mut sub_sets)?),
+        None => None,
+    };
+
+    // Join the FROM tables left-to-right.
+    let mut rows = join_tables(&ns, tables, predicate.as_ref())?;
+
+    // WHERE.
+    if let Some(pred) = &predicate {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval_bool(pred, &row, &ns, &sub_sets)? {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // Projection / aggregation.
+    let (columns, mut out_rows) = if stmt.has_aggregates() || !stmt.group_by.is_empty() {
+        aggregate(stmt, &ns, &rows)?
+    } else {
+        project(stmt, &ns, rows)?
+    };
+
+    // DISTINCT: keep the first occurrence of each row (on text form, the
+    // same equality SQL comparisons use).
+    if stmt.distinct {
+        let mut seen = HashSet::new();
+        out_rows.retain(|row| {
+            let key: Vec<String> = row.iter().map(Value::as_text).collect();
+            seen.insert(key)
+        });
+    }
+
+    // ORDER BY.
+    for ob in stmt.order_by.iter().rev() {
+        let idx = match &ob.key {
+            OrderKey::Position(p) => {
+                if *p == 0 || *p > columns.len() {
+                    return Err(SqlError::Unsupported(format!("ORDER BY position {p}")));
+                }
+                p - 1
+            }
+            OrderKey::Column(c) => {
+                let target = &c.name;
+                columns
+                    .iter()
+                    .position(|name| name.eq_ignore_ascii_case(target))
+                    .ok_or_else(|| SqlError::UnknownColumn(target.clone()))?
+            }
+        };
+        out_rows.sort_by(|a, b| {
+            let ord = compare_values(&a[idx], &b[idx]);
+            if ob.descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    if let Some(limit) = stmt.limit {
+        out_rows.truncate(limit);
+    }
+
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
+    })
+}
+
+/// Replace `InSubquery` nodes with `InList`-like references into
+/// `sub_sets` (encoded as a sentinel `InList` whose list holds the set
+/// index). Subqueries must be uncorrelated: they execute once, here.
+fn lower_subqueries(
+    ctx: &SqlContext<'_>,
+    expr: &Expr,
+    sub_sets: &mut Vec<HashSet<String>>,
+) -> Result<Expr, SqlError> {
+    Ok(match expr {
+        Expr::InSubquery {
+            expr: e,
+            subquery,
+            negated,
+        } => {
+            let result = execute(ctx, subquery)?;
+            if result.columns.len() != 1 {
+                return Err(SqlError::Unsupported(
+                    "IN subquery must select exactly one column".into(),
+                ));
+            }
+            let set: HashSet<String> = result
+                .rows
+                .iter()
+                .map(|r| r[0].as_text())
+                .collect();
+            sub_sets.push(set);
+            // Sentinel shape recognized by `subquery_set_index`: a tag
+            // string that no user literal can produce (embedded NUL), plus
+            // the set index.
+            Expr::InList {
+                expr: e.clone(),
+                list: vec![
+                    Expr::StringLit("\u{0}subquery".into()),
+                    Expr::Number(sub_sets.len() as f64 - 1.0),
+                ],
+                negated: *negated,
+            }
+        }
+        Expr::And(l, r) => Expr::And(
+            Box::new(lower_subqueries(ctx, l, sub_sets)?),
+            Box::new(lower_subqueries(ctx, r, sub_sets)?),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(lower_subqueries(ctx, l, sub_sets)?),
+            Box::new(lower_subqueries(ctx, r, sub_sets)?),
+        ),
+        Expr::Not(e) => Expr::Not(Box::new(lower_subqueries(ctx, e, sub_sets)?)),
+        other => other.clone(),
+    })
+}
+
+/// Is this `InList` a lowered subquery sentinel (see `lower_subqueries`)?
+fn subquery_set_index(list: &[Expr]) -> Option<usize> {
+    if list.len() == 2 {
+        if let (Expr::StringLit(tag), Expr::Number(idx)) = (&list[0], &list[1]) {
+            if tag == "\u{0}subquery" {
+                return Some(*idx as usize);
+            }
+        }
+    }
+    None
+}
+
+fn join_tables(
+    ns: &Namespace,
+    tables: Vec<Vec<Vec<Value>>>,
+    predicate: Option<&Expr>,
+) -> Result<Vec<Vec<Value>>, SqlError> {
+    let mut iter = tables.into_iter();
+    let first = iter.next().expect("at least one table");
+    let mut acc: Vec<Vec<Value>> = first;
+    let mut bound_width = ns.bindings[0].schema.width();
+
+    for (ti, next) in iter.enumerate() {
+        let b = &ns.bindings[ti + 1];
+        // Find an equi-join conjunct: bound_col = new_col.
+        let join_key = predicate.and_then(|p| {
+            find_equi_join(p, ns, bound_width, b.offset, b.offset + b.schema.width())
+        });
+        let next_width = b.schema.width();
+        acc = match join_key {
+            Some((left_idx, right_idx)) => {
+                // Hash join: build on the new table.
+                let mut built: HashMap<String, Vec<&Vec<Value>>> = HashMap::new();
+                for row in &next {
+                    built
+                        .entry(row[right_idx - b.offset].as_text())
+                        .or_default()
+                        .push(row);
+                }
+                let mut out = Vec::new();
+                for left in &acc {
+                    if let Some(matches) = built.get(&left[left_idx].as_text()) {
+                        for m in matches {
+                            let mut combined = left.clone();
+                            combined.extend((*m).iter().cloned());
+                            out.push(combined);
+                        }
+                    }
+                }
+                out
+            }
+            None => {
+                // Nested-loop product; WHERE filters afterwards.
+                let mut out = Vec::with_capacity(acc.len() * next.len().max(1));
+                for left in &acc {
+                    for right in &next {
+                        let mut combined = left.clone();
+                        combined.extend(right.iter().cloned());
+                        out.push(combined);
+                    }
+                }
+                out
+            }
+        };
+        bound_width += next_width;
+    }
+    Ok(acc)
+}
+
+/// Search the conjunctive top level of `pred` for `col_a = col_b` linking
+/// the bound prefix (`< bound_width`) with the incoming table
+/// (`new_start..new_end`). Returns (bound index, incoming index).
+fn find_equi_join(
+    pred: &Expr,
+    ns: &Namespace,
+    bound_width: usize,
+    new_start: usize,
+    new_end: usize,
+) -> Option<(usize, usize)> {
+    match pred {
+        Expr::And(l, r) => find_equi_join(l, ns, bound_width, new_start, new_end)
+            .or_else(|| find_equi_join(r, ns, bound_width, new_start, new_end)),
+        Expr::Compare {
+            left,
+            op: CompareOp::Eq,
+            right,
+        } => {
+            let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+                return None;
+            };
+            let ia = ns.resolve(a).ok()?;
+            let ib = ns.resolve(b).ok()?;
+            if ia < bound_width && (new_start..new_end).contains(&ib) {
+                Some((ia, ib))
+            } else if ib < bound_width && (new_start..new_end).contains(&ia) {
+                Some((ib, ia))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// SQL value comparison: numeric when both sides are numeric, else text.
+pub fn compare_values(a: &Value, b: &Value) -> Ordering {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+        _ => a.as_text().cmp(&b.as_text()),
+    }
+}
+
+fn eval_value(expr: &Expr, row: &[Value], ns: &Namespace) -> Result<Value, SqlError> {
+    Ok(match expr {
+        Expr::Column(c) => row[ns.resolve(c)?].clone(),
+        Expr::StringLit(s) => Value::Str(s.clone()),
+        Expr::Number(n) => Value::Float(*n),
+        other => {
+            return Err(SqlError::Unsupported(format!(
+                "expression used as value: {other:?}"
+            )))
+        }
+    })
+}
+
+fn eval_bool(
+    expr: &Expr,
+    row: &[Value],
+    ns: &Namespace,
+    sub_sets: &[HashSet<String>],
+) -> Result<bool, SqlError> {
+    Ok(match expr {
+        Expr::And(l, r) => {
+            eval_bool(l, row, ns, sub_sets)? && eval_bool(r, row, ns, sub_sets)?
+        }
+        Expr::Or(l, r) => eval_bool(l, row, ns, sub_sets)? || eval_bool(r, row, ns, sub_sets)?,
+        Expr::Not(e) => !eval_bool(e, row, ns, sub_sets)?,
+        Expr::Compare { left, op, right } => {
+            let a = eval_value(left, row, ns)?;
+            let b = eval_value(right, row, ns)?;
+            let ord = compare_values(&a, &b);
+            match op {
+                CompareOp::Eq => ord == Ordering::Equal,
+                CompareOp::NotEq => ord != Ordering::Equal,
+                CompareOp::Lt => ord == Ordering::Less,
+                CompareOp::LtEq => ord != Ordering::Greater,
+                CompareOp::Gt => ord == Ordering::Greater,
+                CompareOp::GtEq => ord != Ordering::Less,
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_value(expr, row, ns)?;
+            let contained = if let Some(set_idx) = subquery_set_index(list) {
+                sub_sets[set_idx].contains(&v.as_text())
+            } else {
+                let mut hit = false;
+                for item in list {
+                    let w = eval_value(item, row, ns)?;
+                    if compare_values(&v, &w) == Ordering::Equal {
+                        hit = true;
+                        break;
+                    }
+                }
+                hit
+            };
+            contained != *negated
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_value(expr, row, ns)?;
+            let lo = eval_value(low, row, ns)?;
+            let hi = eval_value(high, row, ns)?;
+            let inside = compare_values(&v, &lo) != Ordering::Less
+                && compare_values(&v, &hi) != Ordering::Greater;
+            inside != *negated
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_value(expr, row, ns)?;
+            like_match(&v.as_text(), pattern) != *negated
+        }
+        Expr::AggregateCall { .. } => {
+            return Err(SqlError::Unsupported(
+                "aggregate call outside HAVING".into(),
+            ))
+        }
+        Expr::InSubquery { .. } => {
+            return Err(SqlError::Unsupported(
+                "subquery not lowered before evaluation".into(),
+            ))
+        }
+        Expr::Column(_) | Expr::StringLit(_) | Expr::Number(_) => {
+            return Err(SqlError::Unsupported(
+                "scalar used as boolean predicate".into(),
+            ))
+        }
+    })
+}
+
+/// SQL LIKE: `%` matches any run (including empty), `_` one character.
+/// Case-sensitive, iterative two-pointer matcher (no backtracking blowup).
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            // Backtrack: let the last % absorb one more character.
+            pi = star_p + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn project(
+    stmt: &SelectStatement,
+    ns: &Namespace,
+    rows: Vec<Vec<Value>>,
+) -> Result<(Vec<String>, Vec<Vec<Value>>), SqlError> {
+    // Column selection plan: output name + source index.
+    let mut names = Vec::new();
+    let mut indices = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                names.extend(ns.all_columns());
+                indices.extend(0..ns.width);
+            }
+            SelectItem::Column(c, alias) => {
+                indices.push(ns.resolve(c)?);
+                names.push(alias.clone().unwrap_or_else(|| c.name.clone()));
+            }
+            SelectItem::Aggregate { .. } => unreachable!("aggregate path handles these"),
+        }
+    }
+    let out_rows = rows
+        .into_iter()
+        .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+        .collect();
+    Ok((names, out_rows))
+}
+
+/// GROUP BY + aggregate evaluation.
+fn aggregate(
+    stmt: &SelectStatement,
+    ns: &Namespace,
+    rows: &[Vec<Value>],
+) -> Result<(Vec<String>, Vec<Vec<Value>>), SqlError> {
+    let group_indices: Vec<usize> = stmt
+        .group_by
+        .iter()
+        .map(|c| ns.resolve(c))
+        .collect::<Result<_, _>>()?;
+
+    // Validate select list: plain columns must appear in GROUP BY.
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(SqlError::Unsupported("SELECT * with aggregates".into()))
+            }
+            SelectItem::Column(c, _) => {
+                let idx = ns.resolve(c)?;
+                if !group_indices.contains(&idx) {
+                    return Err(SqlError::Unsupported(format!(
+                        "column {} must appear in GROUP BY",
+                        c.name
+                    )));
+                }
+            }
+            SelectItem::Aggregate { .. } => {}
+        }
+    }
+
+    // Group rows.
+    let mut groups: HashMap<Vec<String>, Vec<&Vec<Value>>> = HashMap::new();
+    for row in rows {
+        let key: Vec<String> = group_indices.iter().map(|&i| row[i].as_text()).collect();
+        groups.entry(key).or_default().push(row);
+    }
+    if groups.is_empty() && group_indices.is_empty() {
+        // Aggregates over an empty set still yield one row.
+        groups.insert(vec![], vec![]);
+    }
+
+    let mut names = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Column(c, alias) => {
+                names.push(alias.clone().unwrap_or_else(|| c.name.clone()))
+            }
+            SelectItem::Aggregate {
+                func,
+                column,
+                alias,
+            } => names.push(alias.clone().unwrap_or_else(|| {
+                format!(
+                    "{}({})",
+                    func.name(),
+                    column.as_ref().map(|c| c.name.as_str()).unwrap_or("*")
+                )
+            })),
+            SelectItem::Wildcard => unreachable!(),
+        }
+    }
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    // Deterministic output order before ORDER BY: sort group keys.
+    let mut entries: Vec<_> = groups.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_key, members) in entries {
+        if let Some(having) = &stmt.having {
+            if !eval_having(having, &members, ns)? {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(stmt.items.len());
+        for item in &stmt.items {
+            match item {
+                SelectItem::Column(c, _) => {
+                    let idx = ns.resolve(c)?;
+                    out.push(
+                        members
+                            .first()
+                            .map(|r| r[idx].clone())
+                            .unwrap_or(Value::Null),
+                    );
+                }
+                SelectItem::Aggregate { func, column, .. } => {
+                    out.push(eval_aggregate(*func, column.as_ref(), &members, ns)?);
+                }
+                SelectItem::Wildcard => unreachable!(),
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok((names, out_rows))
+}
+
+/// Evaluate a HAVING predicate over one group. Aggregate calls evaluate
+/// over the group's members; plain columns take the group's first row
+/// (legal only for GROUP BY columns, which are constant per group).
+fn eval_having(
+    expr: &Expr,
+    members: &[&Vec<Value>],
+    ns: &Namespace,
+) -> Result<bool, SqlError> {
+    // Scalar view of a HAVING operand.
+    fn value(
+        expr: &Expr,
+        members: &[&Vec<Value>],
+        ns: &Namespace,
+    ) -> Result<Value, SqlError> {
+        match expr {
+            Expr::AggregateCall { func, column } => {
+                eval_aggregate(*func, column.as_ref(), members, ns)
+            }
+            Expr::Column(c) => {
+                let idx = ns.resolve(c)?;
+                Ok(members
+                    .first()
+                    .map(|r| r[idx].clone())
+                    .unwrap_or(Value::Null))
+            }
+            Expr::StringLit(s) => Ok(Value::Str(s.clone())),
+            Expr::Number(n) => Ok(Value::Float(*n)),
+            other => Err(SqlError::Unsupported(format!(
+                "expression in HAVING: {other:?}"
+            ))),
+        }
+    }
+    Ok(match expr {
+        Expr::And(l, r) => eval_having(l, members, ns)? && eval_having(r, members, ns)?,
+        Expr::Or(l, r) => eval_having(l, members, ns)? || eval_having(r, members, ns)?,
+        Expr::Not(e) => !eval_having(e, members, ns)?,
+        Expr::Compare { left, op, right } => {
+            let a = value(left, members, ns)?;
+            let b = value(right, members, ns)?;
+            let ord = compare_values(&a, &b);
+            match op {
+                CompareOp::Eq => ord == Ordering::Equal,
+                CompareOp::NotEq => ord != Ordering::Equal,
+                CompareOp::Lt => ord == Ordering::Less,
+                CompareOp::LtEq => ord != Ordering::Greater,
+                CompareOp::Gt => ord == Ordering::Greater,
+                CompareOp::GtEq => ord != Ordering::Less,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = value(expr, members, ns)?;
+            let lo = value(low, members, ns)?;
+            let hi = value(high, members, ns)?;
+            let inside = compare_values(&v, &lo) != Ordering::Less
+                && compare_values(&v, &hi) != Ordering::Greater;
+            inside != *negated
+        }
+        other => {
+            return Err(SqlError::Unsupported(format!(
+                "HAVING clause: {other:?}"
+            )))
+        }
+    })
+}
+
+fn eval_aggregate(
+    func: AggFunc,
+    column: Option<&ColumnRef>,
+    members: &[&Vec<Value>],
+    ns: &Namespace,
+) -> Result<Value, SqlError> {
+    if func == AggFunc::Count && column.is_none() {
+        return Ok(Value::Int(members.len() as i64));
+    }
+    let idx = ns.resolve(column.expect("non-COUNT aggregates have a column"))?;
+    let values: Vec<&Value> = members
+        .iter()
+        .map(|r| &r[idx])
+        .filter(|v| !v.is_null())
+        .collect();
+    Ok(match func {
+        AggFunc::Count => Value::Int(values.len() as i64),
+        AggFunc::Sum => Value::Float(values.iter().filter_map(|v| v.as_f64()).sum()),
+        AggFunc::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min => values
+            .iter()
+            .min_by(|a, b| compare_values(a, b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFunc::Max => values
+            .iter()
+            .max_by(|a, b| compare_values(a, b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+    })
+}

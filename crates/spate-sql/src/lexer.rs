@@ -1,0 +1,215 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (case preserved; keyword matching is
+    /// case-insensitive).
+    Word(String),
+    /// 'single-quoted' or "double-quoted" string literal.
+    StringLit(String),
+    Number(f64),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl Token {
+    /// Case-insensitive keyword check.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Tokenize a statement. Returns a message describing the first bad byte
+/// on failure.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(format!("unexpected '!' at byte {i}"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(format!("unterminated string starting at byte {i}"));
+                }
+                out.push(Token::StringLit(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad number literal {text:?}"))?;
+                out.push(Token::Number(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_string()));
+            }
+            _ => return Err(format!("unexpected character {c:?} at byte {i}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_basic_select() {
+        let toks = tokenize("SELECT upflux, downflux FROM CDR WHERE ts='201601221530';").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::StringLit("201601221530".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = tokenize("x >= 10.5 AND y <= -3 OR z != 0 AND w <> 1").unwrap();
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::LtEq));
+        assert_eq!(
+            toks.iter().filter(|t| **t == Token::NotEq).count(),
+            2,
+            "both != and <> lex to NotEq"
+        );
+        assert!(toks.contains(&Token::Number(10.5)));
+        assert!(toks.contains(&Token::Number(-3.0)));
+    }
+
+    #[test]
+    fn qualified_names_and_star() {
+        let toks = tokenize("SELECT a.caller_id, COUNT(*) FROM CDR a").unwrap();
+        assert_eq!(toks[1], Token::Word("a".into()));
+        assert_eq!(toks[2], Token::Dot);
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::LParen));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("price €5").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(tokenize("").unwrap(), vec![]);
+        assert_eq!(tokenize("   \n\t ").unwrap(), vec![]);
+    }
+}

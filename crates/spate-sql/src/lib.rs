@@ -1,0 +1,39 @@
+//! SPATE-SQL: the declarative data exploration interface.
+//!
+//! "The SPATE-SQL interface allows expert users and data scientists to
+//! explore the collected data through declarative SQL. The current
+//! configuration currently allows all basic SELECT-FROM-WHERE block
+//! queries, nested queries, joins, aggregates, etc. directly through the
+//! compressed storage representation of the SPATE structure" (§VI-B).
+//!
+//! The dialect:
+//!
+//! ```sql
+//! SELECT upflux, downflux FROM CDR WHERE ts_start = '201601221530';
+//! SELECT cellid, SUM(call_drops) FROM NMS GROUP BY cellid
+//!   HAVING SUM(call_drops) > 3 ORDER BY 2 DESC LIMIT 10;
+//! SELECT a.caller_id FROM CDR a, CDR b
+//!   WHERE a.caller_id = b.caller_id AND a.cell_id != b.cell_id;
+//! SELECT cell_id FROM CELL WHERE cell_id IN (SELECT cell_id FROM NMS WHERE call_drops > 5);
+//! SELECT DISTINCT call_type FROM CDR
+//!   WHERE duration_s BETWEEN 60 AND 300 AND tech LIKE '_G';
+//! ```
+//!
+//! Queries execute against an [`SqlContext`] bound to any
+//! [`spate_core::framework::ExplorationFramework`], so the same statement
+//! runs over RAW, SHAHED or SPATE storage — which is exactly how the
+//! paper's task queries T1–T4 are phrased.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, SelectItem, SelectStatement};
+pub use exec::{ResultSet, SqlContext, SqlError};
+
+/// Parse and execute one SQL statement in a context.
+pub fn query(ctx: &SqlContext<'_>, sql: &str) -> Result<ResultSet, SqlError> {
+    let stmt = parser::parse(sql).map_err(SqlError::Parse)?;
+    exec::execute(ctx, &stmt)
+}

@@ -1,0 +1,551 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+/// Parse one SELECT statement (optionally `;`-terminated).
+pub fn parse(sql: &str) -> Result<SelectStatement, String> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_statement()?;
+    if p.peek().is_some_and(|t| *t == Token::Semicolon) {
+        p.pos += 1;
+    }
+    if let Some(t) = p.peek() {
+        return Err(format!("trailing input at token {t}"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+        match self.next() {
+            Some(t) if t.is_kw(kw) => Ok(()),
+            Some(t) => Err(format!("expected {kw}, found {t}")),
+            None => Err(format!("expected {kw}, found end of input")),
+        }
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), String> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(format!("expected {want}, found {t}")),
+            None => Err(format!("expected {want}, found end of input")),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn take_word(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            Some(t) => Err(format!("expected identifier, found {t}")),
+            None => Err("expected identifier, found end of input".into()),
+        }
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStatement, String> {
+        self.expect_kw("SELECT")?;
+        let distinct = if self.peek_kw("DISTINCT") {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let items = self.select_list()?;
+        self.expect_kw("FROM")?;
+        let from = self.table_list()?;
+        let predicate = if self.peek_kw("WHERE") {
+            self.pos += 1;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.peek_kw("GROUP") {
+            self.pos += 1;
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.column_ref()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let having = if self.peek_kw("HAVING") {
+            self.pos += 1;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.peek_kw("ORDER") {
+            self.pos += 1;
+            self.expect_kw("BY")?;
+            loop {
+                let key = match self.peek() {
+                    Some(Token::Number(n)) => {
+                        let n = *n;
+                        self.pos += 1;
+                        if n < 1.0 || n.fract() != 0.0 {
+                            return Err(format!("bad ORDER BY position {n}"));
+                        }
+                        OrderKey::Position(n as usize)
+                    }
+                    _ => OrderKey::Column(self.column_ref()?),
+                };
+                let descending = if self.peek_kw("DESC") {
+                    self.pos += 1;
+                    true
+                } else {
+                    if self.peek_kw("ASC") {
+                        self.pos += 1;
+                    }
+                    false
+                };
+                order_by.push(OrderBy { key, descending });
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.peek_kw("LIMIT") {
+            self.pos += 1;
+            match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                other => return Err(format!("bad LIMIT {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            distinct,
+            items,
+            from,
+            predicate,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, String> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn alias_opt(&mut self) -> Result<Option<String>, String> {
+        if self.peek_kw("AS") {
+            self.pos += 1;
+            return Ok(Some(self.take_word()?));
+        }
+        Ok(None)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, String> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate call?
+        if let (Some(Token::Word(w)), Some(Token::LParen)) =
+            (self.peek(), self.tokens.get(self.pos + 1))
+        {
+            if let Some(func) = AggFunc::from_name(w) {
+                self.pos += 2;
+                let column = if self.peek() == Some(&Token::Star) {
+                    self.pos += 1;
+                    None
+                } else {
+                    Some(self.column_ref()?)
+                };
+                self.expect(Token::RParen)?;
+                if func != AggFunc::Count && column.is_none() {
+                    return Err(format!("{}(*) is only valid for COUNT", func.name()));
+                }
+                let alias = self.alias_opt()?;
+                return Ok(SelectItem::Aggregate {
+                    func,
+                    column,
+                    alias,
+                });
+            }
+        }
+        let col = self.column_ref()?;
+        let alias = self.alias_opt()?;
+        Ok(SelectItem::Column(col, alias))
+    }
+
+    fn table_list(&mut self) -> Result<Vec<TableRef>, String> {
+        let mut tables = Vec::new();
+        loop {
+            let table = self.take_word()?;
+            // Optional alias: a bare word that is not a clause keyword.
+            let alias = match self.peek() {
+                Some(Token::Word(w))
+                    if !["WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AS"]
+                        .iter()
+                        .any(|k| w.eq_ignore_ascii_case(k)) =>
+                {
+                    let w = w.clone();
+                    self.pos += 1;
+                    Some(w)
+                }
+                Some(t) if t.is_kw("AS") => {
+                    self.pos += 1;
+                    Some(self.take_word()?)
+                }
+                _ => None,
+            };
+            tables.push(TableRef { table, alias });
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, String> {
+        let first = self.take_word()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let name = self.take_word()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    /// expr := and_expr (OR and_expr)*
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut left = self.and_expr()?;
+        while self.peek_kw("OR") {
+            self.pos += 1;
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// and_expr := unary_expr (AND unary_expr)*
+    fn and_expr(&mut self) -> Result<Expr, String> {
+        let mut left = self.unary_expr()?;
+        while self.peek_kw("AND") {
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, String> {
+        if self.peek_kw("NOT") {
+            self.pos += 1;
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let inner = self.expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, String> {
+        let left = self.operand()?;
+        // NOT BETWEEN / NOT LIKE / NOT IN
+        if self.peek_kw("NOT") {
+            let after = self.tokens.get(self.pos + 1);
+            if after.is_some_and(|t| t.is_kw("BETWEEN")) {
+                self.pos += 2;
+                return self.between(left, true);
+            }
+            if after.is_some_and(|t| t.is_kw("LIKE")) {
+                self.pos += 2;
+                return self.like(left, true);
+            }
+        }
+        if self.peek_kw("BETWEEN") {
+            self.pos += 1;
+            return self.between(left, false);
+        }
+        if self.peek_kw("LIKE") {
+            self.pos += 1;
+            return self.like(left, false);
+        }
+        // IN / NOT IN
+        let negated = if self.peek_kw("NOT") {
+            self.pos += 1;
+            self.expect_kw("IN")?;
+            true
+        } else if self.peek_kw("IN") {
+            self.pos += 1;
+            false
+        } else {
+            let op = match self.next() {
+                Some(Token::Eq) => CompareOp::Eq,
+                Some(Token::NotEq) => CompareOp::NotEq,
+                Some(Token::Lt) => CompareOp::Lt,
+                Some(Token::LtEq) => CompareOp::LtEq,
+                Some(Token::Gt) => CompareOp::Gt,
+                Some(Token::GtEq) => CompareOp::GtEq,
+                other => return Err(format!("expected comparison operator, found {other:?}")),
+            };
+            let right = self.operand()?;
+            return Ok(Expr::Compare {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        };
+        self.expect(Token::LParen)?;
+        if self.peek_kw("SELECT") {
+            let sub = self.select_statement()?;
+            self.expect(Token::RParen)?;
+            return Ok(Expr::InSubquery {
+                expr: Box::new(left),
+                subquery: Box::new(sub),
+                negated,
+            });
+        }
+        let mut list = Vec::new();
+        loop {
+            list.push(self.operand()?);
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(Token::RParen)?;
+        Ok(Expr::InList {
+            expr: Box::new(left),
+            list,
+            negated,
+        })
+    }
+
+    fn between(&mut self, left: Expr, negated: bool) -> Result<Expr, String> {
+        let low = self.operand()?;
+        self.expect_kw("AND")?;
+        let high = self.operand()?;
+        Ok(Expr::Between {
+            expr: Box::new(left),
+            low: Box::new(low),
+            high: Box::new(high),
+            negated,
+        })
+    }
+
+    fn like(&mut self, left: Expr, negated: bool) -> Result<Expr, String> {
+        match self.next() {
+            Some(Token::StringLit(pattern)) => Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            }),
+            other => Err(format!("LIKE expects a string pattern, found {other:?}")),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Expr, String> {
+        // Aggregate call (legal in HAVING).
+        if let (Some(Token::Word(w)), Some(Token::LParen)) =
+            (self.peek(), self.tokens.get(self.pos + 1))
+        {
+            if let Some(func) = AggFunc::from_name(w) {
+                self.pos += 2;
+                let column = if self.peek() == Some(&Token::Star) {
+                    self.pos += 1;
+                    None
+                } else {
+                    Some(self.column_ref()?)
+                };
+                self.expect(Token::RParen)?;
+                if func != AggFunc::Count && column.is_none() {
+                    return Err(format!("{}(*) is only valid for COUNT", func.name()));
+                }
+                return Ok(Expr::AggregateCall { func, column });
+            }
+        }
+        match self.peek().cloned() {
+            Some(Token::StringLit(s)) => {
+                self.pos += 1;
+                Ok(Expr::StringLit(s))
+            }
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Number(n))
+            }
+            Some(Token::Word(_)) => Ok(Expr::Column(self.column_ref()?)),
+            other => Err(format!("expected operand, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_t1_equality() {
+        let stmt =
+            parse("SELECT upflux, downflux FROM CDR WHERE ts_start = '201601221530';").unwrap();
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.from.len(), 1);
+        assert_eq!(stmt.from[0].table, "CDR");
+        assert!(matches!(
+            stmt.predicate,
+            Some(Expr::Compare {
+                op: CompareOp::Eq,
+                ..
+            })
+        ));
+        assert!(!stmt.has_aggregates());
+    }
+
+    #[test]
+    fn parses_t2_range() {
+        let stmt = parse(
+            "SELECT upflux, downflux FROM CDR WHERE ts_start >= '2015' AND ts_start <= '2016'",
+        )
+        .unwrap();
+        assert!(matches!(stmt.predicate, Some(Expr::And(_, _))));
+    }
+
+    #[test]
+    fn parses_t3_group_by_aggregate() {
+        let stmt = parse(
+            "SELECT cell_id, SUM(call_drops) AS drops FROM NMS GROUP BY cell_id ORDER BY 2 DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(stmt.has_aggregates());
+        assert_eq!(stmt.group_by.len(), 1);
+        assert_eq!(stmt.order_by.len(), 1);
+        assert!(stmt.order_by[0].descending);
+        assert_eq!(stmt.order_by[0].key, OrderKey::Position(2));
+        assert_eq!(stmt.limit, Some(5));
+        match &stmt.items[1] {
+            SelectItem::Aggregate { func, alias, .. } => {
+                assert_eq!(*func, AggFunc::Sum);
+                assert_eq!(alias.as_deref(), Some("drops"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_t4_self_join() {
+        let stmt = parse(
+            "SELECT a.caller_id FROM CDR a, CDR b \
+             WHERE a.caller_id = b.caller_id AND a.cell_id != b.cell_id",
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 2);
+        assert_eq!(stmt.from[0].binding(), "a");
+        assert_eq!(stmt.from[1].binding(), "b");
+    }
+
+    #[test]
+    fn parses_nested_in_subquery() {
+        let stmt = parse(
+            "SELECT cell_id FROM CELL WHERE cell_id IN (SELECT cell_id FROM NMS WHERE call_drops > 3)",
+        )
+        .unwrap();
+        assert!(matches!(
+            stmt.predicate,
+            Some(Expr::InSubquery { negated: false, .. })
+        ));
+        let stmt = parse("SELECT cell_id FROM CELL WHERE tech NOT IN ('2G', '3G')").unwrap();
+        assert!(matches!(
+            stmt.predicate,
+            Some(Expr::InList { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_count_star_and_wildcard() {
+        let stmt = parse("SELECT * FROM CELL").unwrap();
+        assert_eq!(stmt.items, vec![SelectItem::Wildcard]);
+        let stmt = parse("SELECT COUNT(*) FROM CDR").unwrap();
+        assert!(matches!(
+            stmt.items[0],
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                column: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parentheses_and_not() {
+        let stmt =
+            parse("SELECT x FROM CDR WHERE NOT (a = 1 OR b = 2) AND c = 3").unwrap();
+        match stmt.predicate.unwrap() {
+            Expr::And(l, _) => assert!(matches!(*l, Expr::Not(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT x FROM").is_err());
+        assert!(parse("SELECT x FROM t WHERE").is_err());
+        assert!(parse("SELECT x FROM t WHERE a = ").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT x FROM t LIMIT -1").is_err());
+        assert!(parse("SELECT x FROM t extra garbage !").is_err());
+        assert!(parse("SELECT x FROM t ; leftovers").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let stmt = parse("select x from CDR where y > 5 order by x limit 3").unwrap();
+        assert_eq!(stmt.limit, Some(3));
+        assert_eq!(stmt.order_by.len(), 1);
+    }
+}

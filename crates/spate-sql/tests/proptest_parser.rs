@@ -1,0 +1,74 @@
+//! Property tests for the SQL front end: the lexer/parser must never
+//! panic, and well-formed generated statements must parse to the expected
+//! shape.
+
+use proptest::prelude::*;
+use spate_sql::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the front end.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// ASCII-ish soups of SQL-looking tokens never panic either.
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("ORDER"), Just("LIMIT"), Just("AND"),
+                Just("OR"), Just("NOT"), Just("IN"), Just("COUNT"),
+                Just("("), Just(")"), Just(","), Just("*"), Just("="),
+                Just("!="), Just("<"), Just(">="), Just("x"), Just("CDR"),
+                Just("'lit'"), Just("42"), Just("."), Just(";"),
+            ],
+            0..24,
+        )
+    ) {
+        let stmt = words.join(" ");
+        let _ = parse(&stmt);
+    }
+
+    /// Generated well-formed SELECTs parse, and their shape survives.
+    #[test]
+    fn well_formed_selects_parse(
+        cols in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..4),
+        table in "[A-Z]{2,5}",
+        lit in "[0-9]{1,6}",
+        limit in 0usize..1000,
+        desc in any::<bool>(),
+    ) {
+        let stmt = format!(
+            "SELECT {} FROM {} WHERE {} >= '{}' ORDER BY {} {} LIMIT {}",
+            cols.join(", "),
+            table,
+            cols[0],
+            lit,
+            cols[0],
+            if desc { "DESC" } else { "ASC" },
+            limit,
+        );
+        let parsed = parse(&stmt).unwrap_or_else(|e| panic!("{stmt}: {e}"));
+        prop_assert_eq!(parsed.items.len(), cols.len());
+        prop_assert_eq!(parsed.from[0].table.as_str(), table.as_str());
+        prop_assert_eq!(parsed.limit, Some(limit));
+        prop_assert_eq!(parsed.order_by[0].descending, desc);
+    }
+
+    /// Aggregates with GROUP BY parse for every aggregate function.
+    #[test]
+    fn aggregate_selects_parse(
+        func in prop_oneof![Just("COUNT"), Just("SUM"), Just("AVG"), Just("MIN"), Just("MAX")],
+        col in "[a-z][a-z0-9_]{0,8}",
+        key in "[a-z][a-z0-9_]{0,8}",
+    ) {
+        let stmt = format!("SELECT {key}, {func}({col}) FROM NMS GROUP BY {key}");
+        let parsed = parse(&stmt).unwrap();
+        prop_assert!(parsed.has_aggregates());
+        prop_assert_eq!(parsed.group_by.len(), 1);
+    }
+}

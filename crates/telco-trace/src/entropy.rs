@@ -1,0 +1,153 @@
+//! Per-attribute Shannon entropy analysis (paper Fig. 4 and §II-B).
+//!
+//! "Based on Shannon's source coding theorem, the minimum number of bits
+//! needed to express a symbol ... the maximum compression ratio possible is
+//! inversely proportional to the entropy H = −Σ pᵢ log₂ pᵢ of the data."
+
+use crate::record::Record;
+use std::collections::HashMap;
+
+/// Shannon entropy (bits/symbol) of one column across records.
+pub fn column_entropy(records: &[Record], col: usize) -> f64 {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for r in records {
+        *counts.entry(r.get(col).as_text()).or_insert(0) += 1;
+    }
+    entropy_of_counts(counts.values().copied())
+}
+
+/// Entropy of every column of a table.
+pub fn table_entropy(records: &[Record], width: usize) -> Vec<f64> {
+    (0..width).map(|c| column_entropy(records, c)).collect()
+}
+
+/// Entropy from raw frequency counts.
+pub fn entropy_of_counts(counts: impl IntoIterator<Item = u64>) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    -counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Summary of a table's entropy profile (used by the Fig. 4 report).
+#[derive(Debug, Clone)]
+pub struct EntropyProfile {
+    pub per_column: Vec<f64>,
+}
+
+impl EntropyProfile {
+    pub fn of(records: &[Record], width: usize) -> Self {
+        Self {
+            per_column: table_entropy(records, width),
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        self.per_column.iter().copied().fold(0.0, f64::max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.per_column.is_empty() {
+            return 0.0;
+        }
+        self.per_column.iter().sum::<f64>() / self.per_column.len() as f64
+    }
+
+    /// Number of zero-entropy columns (constant or always-blank).
+    pub fn zero_columns(&self) -> usize {
+        self.per_column.iter().filter(|&&h| h < 1e-9).count()
+    }
+
+    /// Number of columns below a threshold (Fig. 4: "most attributes have
+    /// an entropy smaller than 1").
+    pub fn below(&self, threshold: f64) -> usize {
+        self.per_column.iter().filter(|&&h| h < threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+    use crate::record::Value;
+    use crate::schema::cdr;
+
+    #[test]
+    fn entropy_of_known_distributions() {
+        // Uniform over 4 symbols → 2 bits.
+        assert!((entropy_of_counts([10, 10, 10, 10]) - 2.0).abs() < 1e-12);
+        // Single symbol → 0 bits.
+        assert_eq!(entropy_of_counts([42]), 0.0);
+        // Fair coin → 1 bit.
+        assert!((entropy_of_counts([7, 7]) - 1.0).abs() < 1e-12);
+        // Empty → 0.
+        assert_eq!(entropy_of_counts([]), 0.0);
+        // 90/10 split → ~0.469 bits.
+        let h = entropy_of_counts([90, 10]);
+        assert!((h - 0.469).abs() < 0.001, "{h}");
+    }
+
+    #[test]
+    fn column_entropy_over_records() {
+        let records: Vec<Record> = (0..100)
+            .map(|i| {
+                Record::new(vec![
+                    Value::Str("constant".into()),
+                    Value::Int(i % 2),
+                    Value::Int(i),
+                ])
+            })
+            .collect();
+        assert_eq!(column_entropy(&records, 0), 0.0);
+        assert!((column_entropy(&records, 1) - 1.0).abs() < 1e-12);
+        // 100 distinct values → log2(100) ≈ 6.64.
+        assert!((column_entropy(&records, 2) - 100f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_cdr_matches_fig4_shape() {
+        let mut g = TraceGenerator::new(TraceConfig::tiny());
+        let mut records = Vec::new();
+        // A full day of snapshots, so high-cardinality columns (ids, flux
+        // volumes) accumulate enough distinct values.
+        for _ in 0..48 {
+            records.extend(g.next_snapshot().unwrap().cdr);
+        }
+        let profile = EntropyProfile::of(&records, cdr::WIDTH);
+
+        // Fig. 4 (left): "most attributes have an entropy smaller than 1
+        // and some even have an entropy of 0".
+        assert!(
+            profile.zero_columns() >= 30,
+            "expected many zero-entropy columns, got {}",
+            profile.zero_columns()
+        );
+        assert!(
+            profile.below(1.0) > cdr::WIDTH / 2,
+            "most columns should be below 1 bit, got {}",
+            profile.below(1.0)
+        );
+        // And a few high-entropy id/flux columns reach several bits.
+        assert!(profile.max() > 4.0, "max entropy {}", profile.max());
+    }
+
+    #[test]
+    fn profile_statistics() {
+        let p = EntropyProfile {
+            per_column: vec![0.0, 0.5, 2.0, 4.0],
+        };
+        assert_eq!(p.zero_columns(), 1);
+        assert_eq!(p.below(1.0), 2);
+        assert_eq!(p.max(), 4.0);
+        assert!((p.mean() - 1.625).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Diurnal and weekday load model.
+//!
+//! The paper's experiments partition the trace by day period and weekday
+//! precisely because "the data load varies among day periods" and "between
+//! days" (§VIII-A/B). This module provides the activity multiplier that
+//! makes those partitions carry different record volumes.
+
+use crate::time::{EpochId, Weekday};
+
+/// Relative activity by hour of day (0–23), normalized around 1.0.
+/// Shape: quiet pre-dawn trough, morning ramp, lunchtime peak, evening
+/// maximum, late-night decline — a standard mobile-network traffic curve.
+const HOURLY: [f64; 24] = [
+    0.30, 0.22, 0.18, 0.15, 0.15, 0.20, // 00–05
+    0.45, 0.80, 1.10, 1.25, 1.30, 1.35, // 06–11
+    1.40, 1.35, 1.25, 1.20, 1.25, 1.40, // 12–17
+    1.55, 1.60, 1.45, 1.15, 0.80, 0.50, // 18–23
+];
+
+/// Relative activity by weekday (Mon..Sun): weekdays busier for voice,
+/// weekend slightly lighter overall.
+const DAILY: [f64; 7] = [1.00, 1.02, 1.03, 1.05, 1.15, 0.95, 0.85];
+
+/// Activity multiplier for an epoch: product of hourly and weekday factors.
+pub fn activity(epoch: EpochId) -> f64 {
+    let hour = epoch.hour() as usize;
+    let weekday = Weekday::ALL
+        .iter()
+        .position(|&w| w == epoch.weekday())
+        .unwrap();
+    HOURLY[hour] * DAILY[weekday]
+}
+
+/// Expected record count for a base rate at a given epoch (deterministic;
+/// sub-integer remainders alternate by epoch parity so totals stay close to
+/// the mean without randomness).
+pub fn scaled_count(base: f64, epoch: EpochId) -> usize {
+    let x = base * activity(epoch);
+    let floor = x.floor();
+    let frac = x - floor;
+    let bump = if (f64::from(epoch.0) * 0.61803) % 1.0 < frac {
+        1.0
+    } else {
+        0.0
+    };
+    (floor + bump).max(0.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{DayPeriod, EPOCHS_PER_DAY};
+
+    #[test]
+    fn evening_is_busier_than_night() {
+        // Compare mean activity across one Monday.
+        let mut by_period = std::collections::HashMap::new();
+        for e in 0..EPOCHS_PER_DAY {
+            let id = EpochId(e);
+            let entry = by_period.entry(id.day_period()).or_insert((0.0, 0u32));
+            entry.0 += activity(id);
+            entry.1 += 1;
+        }
+        let mean = |p: DayPeriod| {
+            let (sum, n) = by_period[&p];
+            sum / f64::from(n)
+        };
+        assert!(mean(DayPeriod::Evening) > mean(DayPeriod::Morning));
+        assert!(mean(DayPeriod::Morning) > mean(DayPeriod::Night));
+        assert!(mean(DayPeriod::Afternoon) > mean(DayPeriod::Night));
+    }
+
+    #[test]
+    fn friday_beats_sunday() {
+        // Same epoch-in-day, different days.
+        let fri = EpochId(4 * EPOCHS_PER_DAY + 20);
+        let sun = EpochId(6 * EPOCHS_PER_DAY + 20);
+        assert_eq!(fri.weekday(), Weekday::Fri);
+        assert_eq!(sun.weekday(), Weekday::Sun);
+        assert!(activity(fri) > activity(sun));
+    }
+
+    #[test]
+    fn scaled_counts_track_the_mean() {
+        let base = 100.0;
+        let total: usize = (0..7 * EPOCHS_PER_DAY)
+            .map(|e| scaled_count(base, EpochId(e)))
+            .sum();
+        let expected: f64 = (0..7 * EPOCHS_PER_DAY)
+            .map(|e| base * activity(EpochId(e)))
+            .sum();
+        let diff = (total as f64 - expected).abs();
+        assert!(
+            diff / expected < 0.01,
+            "deterministic rounding should stay within 1%: {total} vs {expected:.0}"
+        );
+    }
+
+    #[test]
+    fn activity_is_always_positive() {
+        for e in 0..14 * EPOCHS_PER_DAY {
+            assert!(activity(EpochId(e)) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Relational records and their text wire format.
+//!
+//! Telco OSS/BSS data is "highly structured ... relational records based on
+//! a predetermined schema ... mostly nominal text and interval-scaled
+//! discrete numerical values" (paper §II-B). Records are serialized as
+//! comma-separated lines, the format the paper's snapshots arrive in.
+
+use std::fmt;
+
+/// One attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Optional attribute left blank (the zero-entropy columns of Fig. 4).
+    Null,
+    /// Nominal text (call types, results, technology tags, ids).
+    Str(String),
+    /// Discrete numerical value (counters, byte volumes, durations).
+    Int(i64),
+    /// Continuous measurement (throughput, signal strength).
+    Float(f64),
+}
+
+impl Value {
+    /// Canonical text form used both on the wire and for entropy analysis.
+    pub fn as_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f:.2}"),
+        }
+    }
+
+    /// Numeric view: ints and parses of numeric strings; `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(s) => s.parse().ok(),
+            Value::Null => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Str(s) => s.parse().ok(),
+            Value::Null => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_text())
+    }
+}
+
+/// A row: one value per schema column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Serialize as a CSV line. Values must not contain `,` or newlines —
+    /// guaranteed by the generator, asserted here in debug builds.
+    pub fn to_line(&self, out: &mut String) {
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let text = v.as_text();
+            debug_assert!(
+                !text.contains(',') && !text.contains('\n'),
+                "value contains a delimiter: {text:?}"
+            );
+            out.push_str(&text);
+        }
+        out.push('\n');
+    }
+
+    /// Parse a CSV line. Every field comes back as `Str` (or `Null` when
+    /// empty); numeric interpretation is deferred to `Value::as_f64`, which
+    /// is what a schema-on-read big-data stack does.
+    pub fn parse_line(line: &str, n_cols: usize) -> Option<Self> {
+        let mut values = Vec::with_capacity(n_cols);
+        for field in line.split(',') {
+            values.push(if field.is_empty() {
+                Value::Null
+            } else {
+                Value::Str(field.to_string())
+            });
+        }
+        if values.len() != n_cols {
+            return None;
+        }
+        Some(Self { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_text_forms() {
+        assert_eq!(Value::Null.as_text(), "");
+        assert_eq!(Value::Str("LTE".into()).as_text(), "LTE");
+        assert_eq!(Value::Int(-5).as_text(), "-5");
+        assert_eq!(Value::Float(3.14159).as_text(), "3.14");
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(42).as_f64(), Some(42.0));
+        assert_eq!(Value::Float(1.5).as_i64(), Some(1));
+        assert_eq!(Value::Str("17".into()).as_i64(), Some(17));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let rec = Record::new(vec![
+            Value::Str("821000017".into()),
+            Value::Null,
+            Value::Int(1500),
+            Value::Float(2.5),
+        ]);
+        let mut line = String::new();
+        rec.to_line(&mut line);
+        assert_eq!(line, "821000017,,1500,2.50\n");
+
+        let parsed = Record::parse_line(line.trim_end(), 4).unwrap();
+        assert_eq!(parsed.values[0], Value::Str("821000017".into()));
+        assert_eq!(parsed.values[1], Value::Null);
+        assert_eq!(parsed.values[2].as_i64(), Some(1500));
+        assert_eq!(parsed.values[3].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_arity() {
+        assert!(Record::parse_line("a,b,c", 4).is_none());
+        assert!(Record::parse_line("a,b,c,d,e", 4).is_none());
+        assert!(Record::parse_line("a,b,c,d", 4).is_some());
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let rec = Record::parse_line(",,", 3).unwrap();
+        assert!(rec.values.iter().all(Value::is_null));
+    }
+}

@@ -1,0 +1,328 @@
+//! Civil time for the trace: 30-minute ingestion epochs, day periods and
+//! weekdays, anchored at the paper's trace start (January 2016).
+//!
+//! The paper partitions its week-long trace two ways (§VII-C):
+//! * by *day period* — Morning 05:00–12:00, Afternoon 12:00–17:00,
+//!   Evening 17:00–21:00, Night 21:00–05:00 (Figs. 7–8);
+//! * by *weekday* — Monday through Sunday (Figs. 9–10).
+
+/// Minutes per ingestion cycle ("epoch"): snapshots arrive every 30 minutes.
+pub const EPOCH_MINUTES: u32 = 30;
+/// 48 snapshots per day.
+pub const EPOCHS_PER_DAY: u32 = 24 * 60 / EPOCH_MINUTES;
+
+/// The trace timeline starts Monday 2016-01-18 00:00 (the paper's trace was
+/// collected in January 2016; starting on a Monday makes weekday partitions
+/// align with whole trace days).
+pub const TRACE_START_YEAR: u32 = 2016;
+pub const TRACE_START_MONTH: u32 = 1;
+pub const TRACE_START_DAY: u32 = 18;
+
+/// Index of a 30-minute ingestion cycle since the trace start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EpochId(pub u32);
+
+/// The paper's four day-period partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DayPeriod {
+    /// 05:00 – 12:00
+    Morning,
+    /// 12:00 – 17:00
+    Afternoon,
+    /// 17:00 – 21:00
+    Evening,
+    /// 21:00 – 05:00
+    Night,
+}
+
+impl DayPeriod {
+    pub const ALL: [DayPeriod; 4] = [
+        DayPeriod::Morning,
+        DayPeriod::Afternoon,
+        DayPeriod::Evening,
+        DayPeriod::Night,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DayPeriod::Morning => "Morning",
+            DayPeriod::Afternoon => "Afternoon",
+            DayPeriod::Evening => "Evening",
+            DayPeriod::Night => "Night",
+        }
+    }
+
+    /// Classify an hour of day (0–23).
+    pub fn of_hour(hour: u32) -> Self {
+        match hour {
+            5..=11 => DayPeriod::Morning,
+            12..=16 => DayPeriod::Afternoon,
+            17..=20 => DayPeriod::Evening,
+            _ => DayPeriod::Night,
+        }
+    }
+}
+
+/// Days of the week, Monday first (paper Figs. 9–10 order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Weekday {
+    Mon,
+    Tue,
+    Wed,
+    Thu,
+    Fri,
+    Sat,
+    Sun,
+}
+
+impl Weekday {
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Mon,
+        Weekday::Tue,
+        Weekday::Wed,
+        Weekday::Thu,
+        Weekday::Fri,
+        Weekday::Sat,
+        Weekday::Sun,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Weekday::Mon => "Mon",
+            Weekday::Tue => "Tue",
+            Weekday::Wed => "Wed",
+            Weekday::Thu => "Thu",
+            Weekday::Fri => "Fri",
+            Weekday::Sat => "Sat",
+            Weekday::Sun => "Sun",
+        }
+    }
+
+    fn from_index(i: u32) -> Self {
+        Self::ALL[(i % 7) as usize]
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap(year: u32) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+/// Days in a civil month.
+pub fn days_in_month(year: u32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month {month}"),
+    }
+}
+
+/// A broken-down civil timestamp within the trace calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilTime {
+    pub year: u32,
+    pub month: u32,
+    pub day: u32,
+    pub hour: u32,
+    pub minute: u32,
+}
+
+impl CivilTime {
+    /// Compact `YYYYMMDDhhmm` form, the timestamp format the paper's task
+    /// queries use (e.g. `ts="201601221530"`).
+    pub fn compact(&self) -> String {
+        format!(
+            "{:04}{:02}{:02}{:02}{:02}",
+            self.year, self.month, self.day, self.hour, self.minute
+        )
+    }
+
+    /// Parse a compact timestamp. Accepts prefixes (`"2016"`, `"201601"`,
+    /// …), filling missing fields with their minimum — handy for range
+    /// predicates like `ts >= "2015"`.
+    pub fn parse_compact(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 12 || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let field = |range: std::ops::Range<usize>, default: u32| -> u32 {
+            if s.len() >= range.end {
+                s[range].parse().unwrap_or(default)
+            } else {
+                default
+            }
+        };
+        Some(Self {
+            year: field(0..4, 0),
+            month: field(4..6, 1),
+            day: field(6..8, 1),
+            hour: field(8..10, 0),
+            minute: field(10..12, 0),
+        })
+    }
+}
+
+impl EpochId {
+    /// Day index since trace start.
+    pub fn day_index(self) -> u32 {
+        self.0 / EPOCHS_PER_DAY
+    }
+
+    /// Epoch within its day (0–47).
+    pub fn epoch_in_day(self) -> u32 {
+        self.0 % EPOCHS_PER_DAY
+    }
+
+    pub fn hour(self) -> u32 {
+        self.epoch_in_day() * EPOCH_MINUTES / 60
+    }
+
+    pub fn minute(self) -> u32 {
+        self.epoch_in_day() * EPOCH_MINUTES % 60
+    }
+
+    pub fn day_period(self) -> DayPeriod {
+        DayPeriod::of_hour(self.hour())
+    }
+
+    /// The trace starts on a Monday, so weekday is just day-index mod 7.
+    pub fn weekday(self) -> Weekday {
+        Weekday::from_index(self.day_index())
+    }
+
+    /// Civil timestamp of the epoch's start.
+    pub fn civil(self) -> CivilTime {
+        let mut year = TRACE_START_YEAR;
+        let mut month = TRACE_START_MONTH;
+        let mut day = TRACE_START_DAY;
+        let mut remaining = self.day_index();
+        while remaining > 0 {
+            let dim = days_in_month(year, month);
+            if day < dim {
+                day += 1;
+            } else {
+                day = 1;
+                if month == 12 {
+                    month = 1;
+                    year += 1;
+                } else {
+                    month += 1;
+                }
+            }
+            remaining -= 1;
+        }
+        CivilTime {
+            year,
+            month,
+            day,
+            hour: self.hour(),
+            minute: self.minute(),
+        }
+    }
+
+    /// Minutes since the trace start.
+    pub fn start_minutes(self) -> u64 {
+        u64::from(self.0) * u64::from(EPOCH_MINUTES)
+    }
+
+    /// The epoch covering a given minute offset from trace start.
+    pub fn from_minutes(minutes: u64) -> Self {
+        EpochId((minutes / u64::from(EPOCH_MINUTES)) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_period_boundaries_match_the_paper() {
+        assert_eq!(DayPeriod::of_hour(5), DayPeriod::Morning);
+        assert_eq!(DayPeriod::of_hour(11), DayPeriod::Morning);
+        assert_eq!(DayPeriod::of_hour(12), DayPeriod::Afternoon);
+        assert_eq!(DayPeriod::of_hour(16), DayPeriod::Afternoon);
+        assert_eq!(DayPeriod::of_hour(17), DayPeriod::Evening);
+        assert_eq!(DayPeriod::of_hour(20), DayPeriod::Evening);
+        assert_eq!(DayPeriod::of_hour(21), DayPeriod::Night);
+        assert_eq!(DayPeriod::of_hour(0), DayPeriod::Night);
+        assert_eq!(DayPeriod::of_hour(4), DayPeriod::Night);
+    }
+
+    #[test]
+    fn period_epoch_counts_per_day() {
+        // 14 morning + 10 afternoon + 8 evening + 16 night = 48 epochs.
+        let mut counts = [0u32; 4];
+        for e in 0..EPOCHS_PER_DAY {
+            let p = EpochId(e).day_period();
+            counts[DayPeriod::ALL.iter().position(|&q| q == p).unwrap()] += 1;
+        }
+        assert_eq!(counts, [14, 10, 8, 16]);
+    }
+
+    #[test]
+    fn weekdays_cycle_from_monday() {
+        assert_eq!(EpochId(0).weekday(), Weekday::Mon);
+        assert_eq!(EpochId(EPOCHS_PER_DAY - 1).weekday(), Weekday::Mon);
+        assert_eq!(EpochId(EPOCHS_PER_DAY).weekday(), Weekday::Tue);
+        assert_eq!(EpochId(6 * EPOCHS_PER_DAY).weekday(), Weekday::Sun);
+        assert_eq!(EpochId(7 * EPOCHS_PER_DAY).weekday(), Weekday::Mon);
+    }
+
+    #[test]
+    fn civil_time_advances_across_months_and_years() {
+        let start = EpochId(0).civil();
+        assert_eq!((start.year, start.month, start.day), (2016, 1, 18));
+        assert_eq!((start.hour, start.minute), (0, 0));
+
+        // 14 days later: Feb 1.
+        let feb = EpochId(14 * EPOCHS_PER_DAY).civil();
+        assert_eq!((feb.year, feb.month, feb.day), (2016, 2, 1));
+
+        // 2016 is a leap year: Jan 18 + 42 days = Feb 29.
+        let leap = EpochId(42 * EPOCHS_PER_DAY).civil();
+        assert_eq!((leap.year, leap.month, leap.day), (2016, 2, 29));
+
+        // 366 days later lands on Jan 18, 2017.
+        let next_year = EpochId(366 * EPOCHS_PER_DAY).civil();
+        assert_eq!((next_year.year, next_year.month, next_year.day), (2017, 1, 18));
+    }
+
+    #[test]
+    fn compact_format_and_parse() {
+        let e = EpochId(31); // day 0, epoch 31 → 15:30
+        let c = e.civil();
+        assert_eq!(c.compact(), "201601181530");
+        assert_eq!(CivilTime::parse_compact("201601181530"), Some(c));
+        // Prefix parsing fills minima.
+        let y = CivilTime::parse_compact("2016").unwrap();
+        assert_eq!((y.year, y.month, y.day, y.hour, y.minute), (2016, 1, 1, 0, 0));
+        assert!(CivilTime::parse_compact("20x6").is_none());
+        assert!(CivilTime::parse_compact("").is_none());
+    }
+
+    #[test]
+    fn minutes_round_trip() {
+        for e in [0u32, 1, 47, 48, 12345] {
+            let id = EpochId(e);
+            assert_eq!(EpochId::from_minutes(id.start_minutes()), id);
+            assert_eq!(EpochId::from_minutes(id.start_minutes() + 29), id);
+            assert_ne!(EpochId::from_minutes(id.start_minutes() + 30), id);
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2016));
+        assert!(!is_leap(2017));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2017, 2), 28);
+    }
+}

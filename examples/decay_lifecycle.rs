@@ -1,0 +1,89 @@
+//! Decay lifecycle: watch the "Evict Oldest Individuals" fungus keep the
+//! warehouse sub-linear while queries degrade gracefully from exact rows
+//! to day/month summaries.
+//!
+//! Run with: `cargo run --release --example decay_lifecycle`
+
+use spate::core::framework::{ExplorationFramework, SpateFramework};
+use spate::core::query::{Query, QueryResult};
+use spate::core::DecayPolicy;
+use spate::trace::cells::BoundingBox;
+use spate::trace::time::EPOCHS_PER_DAY;
+use spate::trace::{TraceConfig, TraceGenerator};
+
+fn main() {
+    // Two weeks of data; full resolution is kept for 3 days, day highlights
+    // for 8, month highlights for 1 year.
+    let mut config = TraceConfig::scaled(1.0 / 1024.0);
+    config.days = 14;
+    let policy = DecayPolicy {
+        full_resolution_days: 3,
+        day_highlight_days: 8,
+        month_highlight_days: 365,
+        year_highlight_days: 5 * 365,
+    };
+    let mut generator = TraceGenerator::new(config);
+    let layout = generator.layout().clone();
+    let mut with_decay = SpateFramework::in_memory(layout.clone()).with_decay(policy);
+    let mut without = SpateFramework::in_memory(layout);
+
+    println!("day | space with decay | space w/o decay | leaves evicted (cum.)");
+    println!("----+------------------+-----------------+----------------------");
+    for snapshot in generator.by_ref() {
+        with_decay.ingest(&snapshot);
+        without.ingest(&snapshot);
+        if snapshot.epoch.epoch_in_day() == EPOCHS_PER_DAY - 1 {
+            println!(
+                "{:>3} | {:>13} B  | {:>12} B  | {:>6}",
+                snapshot.epoch.day_index(),
+                with_decay.space().total(),
+                without.space().total(),
+                with_decay.decay_log().leaves_evicted
+            );
+        }
+    }
+
+    // Query resolution per age.
+    println!("\nQuery resolution by window age (whole region, one day each):");
+    let last_day = 13u32;
+    for day in [13u32, 11, 6, 0] {
+        let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(
+            day * EPOCHS_PER_DAY,
+            day * EPOCHS_PER_DAY + EPOCHS_PER_DAY - 1,
+        );
+        let desc = match with_decay.query(&q) {
+            QueryResult::Exact(e) => format!(
+                "EXACT   — {} rows from {} full-resolution snapshots",
+                e.cdr.rows.len(),
+                e.epochs_read
+            ),
+            QueryResult::Summary {
+                resolution,
+                highlights,
+            } => format!(
+                "SUMMARY — {} node covering epochs {}..{} ({} CDR records aggregated over {} cells)",
+                resolution.label(),
+                highlights.first_epoch.0,
+                highlights.last_epoch.0,
+                highlights.cdr_records,
+                highlights.per_cell.len()
+            ),
+            QueryResult::Unavailable => "UNAVAILABLE".to_string(),
+        };
+        println!("  day {:>2} (age {:>2}): {desc}", day, last_day - day);
+    }
+
+    // The paper's takeaway: retention horizon bounds full-resolution
+    // storage, while highlights keep macroscopic exploration alive.
+    let report = with_decay.decay_log();
+    println!(
+        "\nDecay totals: {} leaves evicted, {} B freed, {} day-highlights dropped",
+        report.leaves_evicted, report.bytes_freed, report.day_highlights_dropped
+    );
+    println!(
+        "Space with decay: {} B — without: {} B ({:.1}x)",
+        with_decay.space().total(),
+        without.space().total(),
+        without.space().total() as f64 / with_decay.space().total() as f64
+    );
+}

@@ -1,0 +1,94 @@
+//! Quickstart: ingest a morning of telco snapshots into SPATE, explore the
+//! data with `Q(a, b, w)` queries, and compare storage against the RAW
+//! baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spate::core::framework::{ExplorationFramework, RawFramework, SpateFramework};
+use spate::core::query::{Query, QueryResult};
+use spate::core::tasks;
+use spate::trace::cells::BoundingBox;
+use spate::trace::time::EpochId;
+use spate::trace::{TraceConfig, TraceGenerator};
+
+fn main() {
+    // A deterministic synthetic trace at 1/256 of the paper's volume.
+    let mut generator = TraceGenerator::new(TraceConfig::scaled(1.0 / 256.0));
+    let layout = generator.layout().clone();
+    println!(
+        "Trace: {} cells on {} antennas, {} subscribers",
+        generator.config().n_cells,
+        generator.config().n_antennas,
+        generator.config().n_users
+    );
+
+    let mut spate = SpateFramework::in_memory(layout.clone());
+    let mut raw = RawFramework::in_memory(layout);
+
+    // Ingest the first 16 epochs (midnight to 08:00) into both frameworks.
+    println!("\n-- Ingestion (snapshots arrive every 30 minutes) --");
+    let mut total_ingest = 0.0;
+    for snapshot in generator.by_ref().take(16) {
+        let stats = spate.ingest(&snapshot);
+        raw.ingest(&snapshot);
+        total_ingest += stats.seconds;
+        if snapshot.epoch.0 % 4 == 0 {
+            println!(
+                "epoch {:>2} ({}): {:>5} records, {:>7} B raw -> {:>6} B stored ({:.1}x)",
+                snapshot.epoch.0,
+                snapshot.epoch.civil().compact(),
+                snapshot.total_records(),
+                stats.raw_bytes,
+                stats.stored_bytes,
+                stats.raw_bytes as f64 / stats.stored_bytes as f64
+            );
+        }
+    }
+    println!("total SPATE ingestion time: {total_ingest:.3}s");
+
+    // Storage comparison.
+    let (s, r) = (spate.space(), raw.space());
+    println!("\n-- Space --");
+    println!("RAW  : {:>9} B data", r.data_bytes);
+    println!(
+        "SPATE: {:>9} B data + {:>7} B index  ({:.1}x smaller)",
+        s.data_bytes,
+        s.index_bytes,
+        r.total() as f64 / s.total() as f64
+    );
+
+    // A data exploration query: flux volumes in the city core, 06:00-08:00.
+    println!("\n-- Q(a, b, w): upflux/downflux in the urban core, epochs 12-15 --");
+    let core_box = BoundingBox::new(25_000.0, 25_000.0, 55_000.0, 55_000.0);
+    let q = Query::new(&["upflux", "downflux"], core_box).with_epoch_range(12, 15);
+    match spate.query(&q) {
+        QueryResult::Exact(result) => {
+            let total_up: i64 = result
+                .cdr
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_i64())
+                .sum();
+            println!(
+                "exact answer: {} CDR rows from {} epochs, total upflux {} B",
+                result.cdr.rows.len(),
+                result.epochs_read,
+                total_up
+            );
+        }
+        other => println!("unexpected result: {other:?}"),
+    }
+
+    // Run two of the paper's tasks on both frameworks.
+    println!("\n-- Tasks --");
+    let (rows, secs) = tasks::t2_range(&spate, EpochId(8), EpochId(15));
+    println!("T2 range on SPATE: {} rows in {secs:.4}s", rows.len());
+    let (rows, secs) = tasks::t2_range(&raw, EpochId(8), EpochId(15));
+    println!("T2 range on RAW  : {} rows in {secs:.4}s", rows.len());
+    let (agg, secs) = tasks::t3_aggregate(&spate, EpochId(8), EpochId(15));
+    println!(
+        "T3 aggregate on SPATE: {} cells, {} clusters in {secs:.4}s",
+        agg.drops_per_cell.len(),
+        agg.drop_rate_per_cluster.len()
+    );
+}

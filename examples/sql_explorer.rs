@@ -1,0 +1,87 @@
+//! SPATE-SQL session: the declarative interface of the application layer,
+//! running the paper's task queries (T1–T4 style) over the compressed
+//! store and printing Hue-style result tables.
+//!
+//! Run with: `cargo run --release --example sql_explorer`
+
+use spate::core::framework::{ExplorationFramework, SpateFramework};
+use spate::sql::SqlContext;
+use spate::trace::time::EpochId;
+use spate::trace::{TraceConfig, TraceGenerator};
+
+fn main() {
+    let mut generator = TraceGenerator::new(TraceConfig::scaled(1.0 / 256.0));
+    let layout = generator.layout().clone();
+    let mut spate = SpateFramework::in_memory(layout);
+    println!("Ingesting 20 snapshots...");
+    for snapshot in generator.by_ref().take(20) {
+        spate.ingest(&snapshot);
+    }
+
+    let ctx = SqlContext::new(&spate, EpochId(12), EpochId(19));
+    let ts = EpochId(15).civil().compact();
+
+    let statements = vec![
+        (
+            "T1 equality: flux volumes of one snapshot",
+            format!("SELECT upflux, downflux FROM CDR WHERE ts_start = '{ts}' LIMIT 5"),
+        ),
+        (
+            "T2 range: data sessions over the window",
+            "SELECT record_id, caller_id, downflux FROM CDR \
+             WHERE call_type = 'DATA' ORDER BY downflux DESC LIMIT 5"
+                .to_string(),
+        ),
+        (
+            "T3 aggregate: drop counters per cell",
+            "SELECT cell_id, SUM(call_drops) AS drops, SUM(call_attempts) AS attempts \
+             FROM NMS GROUP BY cell_id ORDER BY 2 DESC LIMIT 5"
+                .to_string(),
+        ),
+        (
+            "T4 join: subscribers seen at two different towers",
+            "SELECT a.caller_id, a.cell_id, b.cell_id FROM CDR a, CDR b \
+             WHERE a.caller_id = b.caller_id AND a.cell_id != b.cell_id LIMIT 5"
+                .to_string(),
+        ),
+        (
+            "Inventory join: worst LTE cells by drops",
+            "SELECT n.cell_id, c.site_name, SUM(n.call_drops) AS drops \
+             FROM NMS n, CELL c WHERE n.cell_id = c.cell_id AND c.tech = 'LTE' \
+             GROUP BY n.cell_id, c.site_name ORDER BY 3 DESC LIMIT 5"
+                .to_string(),
+        ),
+        (
+            "Nested query: cells that ever dropped a call",
+            "SELECT cell_id, tech FROM CELL WHERE cell_id IN \
+             (SELECT cell_id FROM NMS WHERE call_drops > 2) LIMIT 5"
+                .to_string(),
+        ),
+        (
+            "HAVING: only persistently busy cells",
+            "SELECT cell_id, SUM(call_attempts) AS attempts FROM NMS \
+             GROUP BY cell_id HAVING SUM(call_attempts) > 100 \
+             ORDER BY 2 DESC LIMIT 5"
+                .to_string(),
+        ),
+        (
+            "LIKE and BETWEEN: mid-length voice calls on 3G cells",
+            "SELECT record_id, duration_s, tech FROM CDR \
+             WHERE call_type LIKE 'VO%' AND duration_s BETWEEN 60 AND 180 \
+             AND tech LIKE '_G' LIMIT 5"
+                .to_string(),
+        ),
+    ];
+
+    for (title, sql) in statements {
+        println!("\n=== {title} ===");
+        println!("spate-sql> {sql}");
+        match ctx.query(&sql) {
+            Ok(rs) => {
+                print!("{}", rs.to_text());
+                println!("({} rows)", rs.len());
+            }
+            Err(e) => println!("ERROR: {e}"),
+        }
+    }
+}
