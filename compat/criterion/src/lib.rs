@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds with no crates.io access, so the benchmark
+//! harness API its `[[bench]]` targets use is reimplemented here:
+//! `Criterion`, `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input` / `finish`, `Bencher::iter` and
+//! `iter_with_setup`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark runs a
+//! fixed warm-up plus `sample_size` timed iterations and prints the
+//! median and minimum per-iteration wall time — enough to compare
+//! codecs or frameworks locally without any external dependency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Declared workload size, echoed in the report.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    fn run(iterations: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(iterations),
+            iterations,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_with_setup<S, O, Setup, Routine>(&mut self, mut setup: Setup, mut routine: Routine)
+    where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let mbps = *n as f64 / 1e6 / median.as_secs_f64();
+                format!("  {mbps:>10.1} MB/s")
+            }
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let eps = *n as f64 / median.as_secs_f64();
+                format!("  {eps:>10.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!("{label:<48} median {:>12?}  min {:>12?}{rate}", median, min);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        let mut bencher = Bencher::run(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&label, self.throughput.as_ref());
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        let mut bencher = Bencher::run(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&label, self.throughput.as_ref());
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::run(20);
+        f(&mut bencher);
+        bencher.report(id, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::run(5);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6); // warm-up + samples
+
+        let mut b = Bencher::run(3);
+        b.iter_with_setup(|| vec![1u8; 64], |v| v.len());
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2).throughput(Throughput::Bytes(1024));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41u64, |b, &n| {
+            b.iter(|| n + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the `crossbeam` crate, backed by `std::thread`.
+//!
+//! Only the surface this workspace uses is provided:
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...) })` returning a
+//! `Result`, with join handles whose `join()` reports worker panics.
+//! Since Rust 1.63 the standard library has scoped threads, so the shim
+//! is a thin adapter that keeps crossbeam's closure signature (the spawn
+//! closure receives the scope, allowing nested spawns).
+
+pub mod thread {
+    /// A scope in which threads borrowing local data can be spawned.
+    ///
+    /// `Copy` so it can be smuggled into spawned closures by value,
+    /// which is how the crossbeam signature (`FnOnce(&Scope) -> T`) is
+    /// reproduced on top of `std::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. The closure receives the scope itself (so it
+        /// can spawn further workers), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned workers are joined before
+    /// this returns. Unlike crossbeam, a panicking worker that was joined
+    /// by `f` itself does not poison the scope; an *unjoined* panicking
+    /// worker propagates the panic (std semantics) rather than returning
+    /// `Err` — every call site in this workspace joins its handles.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_borrowing_workers() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let n = crate::thread::scope(|s| {
+            let outer = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            outer.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_in_join() {
+        let caught = crate::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker died") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

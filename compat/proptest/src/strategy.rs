@@ -1,0 +1,420 @@
+//! Value-generation strategies: numeric ranges, `Just`, `any`, tuples,
+//! mapped strategies, unions (`prop_oneof!`) and regex-like string
+//! patterns.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for producing values of `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy derived from another by a mapping function.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy wrapping a sampling closure (used by `prop_compose!`).
+pub struct FnStrategy<F>(F);
+
+impl<F> FnStrategy<F> {
+    pub fn new(f: F) -> Self {
+        Self(f)
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform union of same-valued strategies (built by `prop_oneof!`).
+#[allow(clippy::type_complexity)]
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+}
+
+impl<T> OneOf<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { arms: Vec::new() }
+    }
+
+    pub fn or<S>(mut self, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| strategy.sample(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy, see [`any`].
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                // Bias toward the classic boundary values so tests see
+                // them early, like real proptest's edge weighting.
+                match rng.below(16) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Whole-domain strategy for `T` (with boundary-value bias for integers).
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+range_strategy_float!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// One parsed element of a string pattern: a character source plus a
+/// repetition count range.
+struct PatternPiece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+enum Atom {
+    /// `[a-z0-9_.-]`: inclusive character ranges (literals are 1-char ranges).
+    Class(Vec<(char, char)>),
+    /// `.`: any printable ASCII character.
+    AnyChar,
+    Literal(char),
+}
+
+/// Parse the regex subset used by the workspace's tests: literals,
+/// `.`, `[...]` classes with ranges, `\x` escapes, and the repetition
+/// suffixes `{n}`, `{m,n}`, `?`, `*`, `+`.
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).expect("dangling escape in pattern");
+                i += 1;
+                Atom::Literal(c)
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // `x-y` is a range unless `-` is the class's last char.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("bad repetition bound");
+                        let hi = if hi.trim().is_empty() {
+                            lo + 16
+                        } else {
+                            hi.trim().parse().expect("bad repetition bound")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(PatternPiece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => char::from_u32(rng.usize_in(0x20, 0x7e) as u32).unwrap(),
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            char::from_u32(rng.usize_in(lo as usize, hi as usize) as u32)
+                .expect("class range crosses a surrogate gap")
+        }
+    }
+}
+
+/// String patterns act as strategies, e.g. `"[a-z][a-z0-9_]{0,8}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = rng.usize_in(piece.min, piece.max);
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xBEEF)
+    }
+
+    #[test]
+    fn ranges_and_just_and_map() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = (10u32..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-3i64..=3).sample(&mut rng);
+            assert!((-3..=3).contains(&w));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+        assert_eq!(Just(7u8).sample(&mut rng), 7);
+        let doubled = (1u32..5).prop_map(|v| v * 2).sample(&mut rng);
+        assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+    }
+
+    #[test]
+    fn any_hits_boundaries_eventually() {
+        let mut rng = rng();
+        let samples: Vec<i16> = (0..400).map(|_| any::<i16>().sample(&mut rng)).collect();
+        assert!(samples.contains(&i16::MIN));
+        assert!(samples.contains(&i16::MAX));
+        assert!(samples.contains(&0));
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = rng();
+        let (a, b) = (0u8..8, 0u16..100).sample(&mut rng);
+        assert!(a < 8 && b < 100);
+        let (x, y, z) = (0u8..2, Just(5i32), 0.0f64..1.0).sample(&mut rng);
+        assert!(x < 2 && y == 5 && (0.0..1.0).contains(&z));
+    }
+
+    #[test]
+    fn string_patterns_respect_shape() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let phone = "[0-9]{4,8}".sample(&mut rng);
+            assert!((4..=8).contains(&phone.len()), "{phone:?}");
+            assert!(phone.bytes().all(|b| b.is_ascii_digit()));
+
+            let ident = "[a-z][a-z0-9_]{0,8}".sample(&mut rng);
+            assert!(!ident.is_empty() && ident.len() <= 9);
+            assert!(ident.as_bytes()[0].is_ascii_lowercase());
+
+            let mixed = "[A-Za-z0-9_.-]{1,12}".sample(&mut rng);
+            assert!((1..=12).contains(&mixed.len()));
+            assert!(mixed
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b"_.-".contains(&b)));
+
+            let free = ".{0,200}".sample(&mut rng);
+            assert!(free.len() <= 200);
+            assert!(free.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn oneof_only_yields_arm_values() {
+        let mut rng = rng();
+        let strat = OneOf::new().or(Just(1u8)).or(Just(2)).or(Just(3));
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..=3).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

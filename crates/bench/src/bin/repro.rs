@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale 1/N] [--days D] [--unthrottled]
+//!       [--profile] [--metrics-json PATH]
 //!
 //! EXPERIMENT: table1 | fig4 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
-//!             | space-summary | all (default)
+//!             | decay | space-summary | all (default)
+//!
+//! --profile            print the span flame table (per-stage wall time)
+//!                      after the experiment finishes
+//! --metrics-json PATH  dump the whole metric registry (counters, gauges,
+//!                      histograms, spans) as JSON to PATH
 //! ```
 //!
 //! Absolute numbers will differ from the paper (its testbed was a 4-VM
@@ -19,9 +25,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = "all".to_string();
     let mut config = BenchConfig::default();
+    let mut profile = false;
+    let mut metrics_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--profile" => profile = true,
+            "--metrics-json" => {
+                i += 1;
+                metrics_json = Some(args.get(i).expect("--metrics-json needs a path").clone());
+            }
             "--scale" => {
                 i += 1;
                 let v = &args[i];
@@ -62,17 +75,28 @@ fn main() {
         "table1" => table1(&config),
         "fig7" | "fig8" | "fig9" | "fig10" => ingest_figs(&config),
         "fig11" | "fig12" => response_figs(&config),
+        "decay" => decay_run(&config),
         "space-summary" => space_summary(&config),
         "all" => {
             fig4(&config);
             table1(&config);
             ingest_figs(&config);
             response_figs(&config);
+            decay_run(&config);
         }
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);
         }
+    }
+
+    if profile {
+        println!("\n## Profile — span flame table\n");
+        print!("{}", obs::export::flame_table(obs::global()));
+    }
+    if let Some(path) = metrics_json {
+        std::fs::write(&path, obs::export::json(obs::global())).expect("writing --metrics-json");
+        println!("\nmetrics written to {path}");
     }
 }
 
@@ -123,9 +147,18 @@ fn ingest_figs(config: &BenchConfig) {
     let r = experiments::ingest_experiment(config);
 
     println!("Fig. 7 — mean ingestion time per snapshot (s), by day period:");
-    println!("{:<10} {:>10} {:>10} {:>10}", "", FRAMEWORK_NAMES[0], FRAMEWORK_NAMES[1], FRAMEWORK_NAMES[2]);
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "", FRAMEWORK_NAMES[0], FRAMEWORK_NAMES[1], FRAMEWORK_NAMES[2]
+    );
     for (p, t) in &r.time_per_period {
-        println!("{:<10} {:>10.4} {:>10.4} {:>10.4}", p.label(), t[0], t[1], t[2]);
+        println!(
+            "{:<10} {:>10.4} {:>10.4} {:>10.4}",
+            p.label(),
+            t[0],
+            t[1],
+            t[2]
+        );
     }
     println!("(paper: SPATE slowest but ≤ ~1.25x, stable across periods)\n");
 
@@ -143,7 +176,13 @@ fn ingest_figs(config: &BenchConfig) {
 
     println!("Fig. 9 — mean ingestion time per snapshot (s), by weekday:");
     for (w, t) in &r.time_per_weekday {
-        println!("{:<10} {:>10.4} {:>10.4} {:>10.4}", w.label(), t[0], t[1], t[2]);
+        println!(
+            "{:<10} {:>10.4} {:>10.4} {:>10.4}",
+            w.label(),
+            t[0],
+            t[1],
+            t[2]
+        );
     }
     println!();
 
@@ -178,9 +217,34 @@ fn space_summary(config: &BenchConfig) {
     summary_line(&r);
 }
 
+fn decay_run(config: &BenchConfig) {
+    println!("\n## Continuous decay — sliding-window eviction under ingestion\n");
+    let r = experiments::decay_experiment(config);
+    println!(
+        "ingested {} epochs | evicted {} leaves ({:.2} MB) | dropped {} day + {} month highlights",
+        r.epochs_ingested,
+        r.leaves_evicted,
+        r.bytes_freed as f64 / 1e6,
+        r.day_highlights_dropped,
+        r.month_highlights_dropped
+    );
+    println!(
+        "DFS saw {} deletes ({:.2} MB logical) | {} leaves remain present | {:.2} MB stored",
+        r.dfs_deletes,
+        r.dfs_bytes_deleted as f64 / 1e6,
+        r.present_leaves,
+        r.stored_bytes as f64 / 1e6
+    );
+    println!("(paper Fig. 5: full resolution decays first, then day/month highlights)");
+}
+
 fn response_figs(config: &BenchConfig) {
     println!("\n## Figures 11-12 — task response time (s)\n");
-    println!("Ingesting {} days at scale 1/{:.0}...", config.days, 1.0 / config.scale);
+    println!(
+        "Ingesting {} days at scale 1/{:.0}...",
+        config.days,
+        1.0 / config.scale
+    );
     let (mut fws, mut generator) = build_frameworks(config);
     spate_bench::setup::ingest_all(
         &mut fws,

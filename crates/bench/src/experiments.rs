@@ -2,7 +2,8 @@
 
 use crate::setup::{build_frameworks, ingest_all, BenchConfig, Frameworks};
 use codecs::table1_codecs as codec_list;
-use spate_core::framework::ExplorationFramework;
+use spate_core::framework::{ExplorationFramework, SpateFramework};
+use spate_core::index::decay::DecayPolicy;
 use spate_core::tasks;
 use std::time::Instant;
 use telco_trace::entropy::EntropyProfile;
@@ -158,7 +159,11 @@ pub fn ingest_experiment(config: &BenchConfig) -> IngestReport {
         let weekday = snapshot.epoch.weekday();
         for acc in [
             &mut by_period.iter_mut().find(|(p, _)| *p == period).unwrap().1,
-            &mut by_weekday.iter_mut().find(|(w, _)| *w == weekday).unwrap().1,
+            &mut by_weekday
+                .iter_mut()
+                .find(|(w, _)| *w == weekday)
+                .unwrap()
+                .1,
         ] {
             for (i, st) in stats.iter().enumerate() {
                 acc.secs[i] += st.seconds;
@@ -199,12 +204,62 @@ pub fn ingest_experiment(config: &BenchConfig) -> IngestReport {
         time_per_weekday: by_weekday.iter().map(|(w, a)| (*w, mean(a))).collect(),
         space_per_period: by_period.iter().map(|(p, a)| (*p, attribute(a))).collect(),
         space_per_weekday: by_weekday.iter().map(|(w, a)| (*w, attribute(a))).collect(),
-        total_space: [
-            spaces[0].total(),
-            spaces[1].total(),
-            spaces[2].total(),
-        ],
+        total_space: [spaces[0].total(), spaces[1].total(), spaces[2].total()],
         total_raw_bytes: total_raw,
+    }
+}
+
+// ------------------------------------------------------------- Decay run
+
+/// Outcome of the continuous-decay experiment: a SPATE instance ingesting
+/// the whole trace under an aggressive sliding-window policy, so every
+/// eviction path (leaf files, day and month highlights) actually fires.
+#[derive(Debug)]
+pub struct DecayRunReport {
+    pub epochs_ingested: usize,
+    pub leaves_evicted: usize,
+    /// Logical compressed bytes purged from the filesystem.
+    pub bytes_freed: u64,
+    pub day_highlights_dropped: usize,
+    pub month_highlights_dropped: usize,
+    /// Delete operations observed by the DFS metrics (one per evicted
+    /// leaf file).
+    pub dfs_deletes: u64,
+    pub dfs_bytes_deleted: u64,
+    pub present_leaves: usize,
+    pub stored_bytes: u64,
+}
+
+/// Continuous decay: retain one day at full resolution, two days of day
+/// highlights, four days of month highlights. With the default 7-day
+/// trace this guarantees leaf evictions *and* highlight drops.
+pub fn decay_experiment(config: &BenchConfig) -> DecayRunReport {
+    let mut generator = config.generator();
+    let layout = generator.layout().clone();
+    let policy = DecayPolicy {
+        full_resolution_days: 1,
+        day_highlight_days: 2,
+        month_highlight_days: 4,
+        year_highlight_days: 1000,
+    };
+    let mut spate = SpateFramework::new(config.dfs(), layout).with_decay(policy);
+    let mut epochs = 0usize;
+    while let Some(snapshot) = generator.next_snapshot() {
+        spate.ingest(&snapshot);
+        epochs += 1;
+    }
+    let log = spate.decay_log();
+    let m = spate.store().dfs().metrics();
+    DecayRunReport {
+        epochs_ingested: epochs,
+        leaves_evicted: log.leaves_evicted,
+        bytes_freed: log.bytes_freed,
+        day_highlights_dropped: log.day_highlights_dropped,
+        month_highlights_dropped: log.month_highlights_dropped,
+        dfs_deletes: m.deletes,
+        dfs_bytes_deleted: m.bytes_deleted,
+        present_leaves: spate.index().present_leaves(),
+        stored_bytes: spate.store().stored_bytes(),
     }
 }
 
@@ -223,12 +278,18 @@ pub struct ResponseReport {
 /// mid-trace business day, the quadratic join over a morning window, the
 /// heavy analytics over two days.
 pub fn response_experiment(config: &BenchConfig, fws: &Frameworks) -> ResponseReport {
-    assert!(config.days >= 5, "response windows need at least 5 trace days");
+    assert!(
+        config.days >= 5,
+        "response windows need at least 5 trace days"
+    );
     let day4 = 4 * EPOCHS_PER_DAY; // Friday
     let t1_epoch = EpochId(day4 + 24); // Friday 12:00
     let day_window = (EpochId(day4), EpochId(day4 + EPOCHS_PER_DAY - 1));
     let join_window = (EpochId(day4 + 14), EpochId(day4 + 35)); // Friday 07:00-18:00
-    let heavy_window = (EpochId(3 * EPOCHS_PER_DAY), EpochId(day4 + EPOCHS_PER_DAY - 1));
+    let heavy_window = (
+        EpochId(3 * EPOCHS_PER_DAY),
+        EpochId(day4 + EPOCHS_PER_DAY - 1),
+    );
 
     let mut rows: Vec<(&'static str, [f64; 3])> = Vec::new();
     // Each task behaves like a fresh analytics job: the page cache is
@@ -241,9 +302,7 @@ pub fn response_experiment(config: &BenchConfig, fws: &Frameworks) -> ResponseRe
         fws.shahed.store().dfs().drop_caches();
         fws.spate.store().dfs().drop_caches();
     };
-    let run = |f: &mut dyn FnMut(&dyn ExplorationFramework) -> f64,
-               fws: &Frameworks|
-     -> [f64; 3] {
+    let run = |f: &mut dyn FnMut(&dyn ExplorationFramework) -> f64, fws: &Frameworks| -> [f64; 3] {
         let [raw, shahed, spate] = fws.iter();
         for fw in [raw, shahed, spate] {
             drop_all(fws);
@@ -264,7 +323,10 @@ pub fn response_experiment(config: &BenchConfig, fws: &Frameworks) -> ResponseRe
     ));
     rows.push((
         "T2 range",
-        run(&mut |fw| tasks::t2_range(fw, day_window.0, day_window.1).1, fws),
+        run(
+            &mut |fw| tasks::t2_range(fw, day_window.0, day_window.1).1,
+            fws,
+        ),
     ));
     rows.push((
         "T3 aggregate",
@@ -314,7 +376,11 @@ pub fn response_experiment(config: &BenchConfig, fws: &Frameworks) -> ResponseRe
 /// Full pipeline for the response experiment: build, ingest, measure.
 pub fn response_experiment_from_scratch(config: &BenchConfig) -> ResponseReport {
     let (mut fws, mut generator) = build_frameworks(config);
-    ingest_all(&mut fws, &mut generator, (config.days * EPOCHS_PER_DAY) as usize);
+    ingest_all(
+        &mut fws,
+        &mut generator,
+        (config.days * EPOCHS_PER_DAY) as usize,
+    );
     response_experiment(config, &fws)
 }
 
@@ -367,6 +433,19 @@ mod tests {
         // Snappy compresses fastest.
         assert!(snappy.tc1_s < gzip.tc1_s);
         assert!(snappy.tc1_s < seven.tc1_s);
+    }
+
+    #[test]
+    fn decay_experiment_evicts_and_counts_deletes() {
+        let r = decay_experiment(&quick_config());
+        assert!(r.leaves_evicted > 0, "{r:?}");
+        assert!(r.bytes_freed > 0);
+        assert!(r.day_highlights_dropped > 0);
+        // Every evicted leaf is one DFS delete, and the metrics layer must
+        // not drop them (the record_delete fix).
+        assert_eq!(r.dfs_deletes, r.leaves_evicted as u64);
+        assert_eq!(r.dfs_bytes_deleted, r.bytes_freed);
+        assert!(r.present_leaves > 0, "the newest day survives");
     }
 
     #[test]

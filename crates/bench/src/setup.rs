@@ -2,9 +2,7 @@
 //! their own simulated clusters, mirroring §VII of the paper.
 
 use dfs::{Dfs, DfsConfig, IoModel};
-use spate_core::framework::{
-    ExplorationFramework, RawFramework, ShahedFramework, SpateFramework,
-};
+use spate_core::framework::{ExplorationFramework, RawFramework, ShahedFramework, SpateFramework};
 use telco_trace::{Snapshot, TraceConfig, TraceGenerator};
 
 /// Experiment configuration.
@@ -35,8 +33,8 @@ impl BenchConfig {
     pub fn approx_snapshot_bytes(&self) -> usize {
         let c = self.trace_config();
         // CDR lines ≈ 330 B, NMS lines ≈ 40 B.
-        (c.cdr_base_per_epoch * 330.0
-            + f64::from(c.n_cells) * c.nms_reports_per_cell * 40.0) as usize
+        (c.cdr_base_per_epoch * 330.0 + f64::from(c.n_cells) * c.nms_reports_per_cell * 40.0)
+            as usize
     }
 
     pub fn trace_config(&self) -> TraceConfig {
@@ -45,7 +43,7 @@ impl BenchConfig {
         c
     }
 
-    fn dfs(&self) -> Dfs {
+    pub(crate) fn dfs(&self) -> Dfs {
         let mut config = DfsConfig::default();
         if self.throttled {
             config = config.with_io(IoModel::cluster_disks());

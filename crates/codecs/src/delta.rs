@@ -105,7 +105,8 @@ impl DeltaCodec {
         if pos + body_len > packed.len() {
             return Err(CodecError::Truncated);
         }
-        self.inner(reference).decompress(&packed[pos..pos + body_len])
+        self.inner(reference)
+            .decompress(&packed[pos..pos + body_len])
     }
 }
 
@@ -181,7 +182,10 @@ mod tests {
         let delta = DeltaCodec::default();
         // Empty reference degrades to plain compression.
         let packed = delta.compress(b"", b"some payload bytes");
-        assert_eq!(delta.decompress(b"", &packed).unwrap(), b"some payload bytes");
+        assert_eq!(
+            delta.decompress(b"", &packed).unwrap(),
+            b"some payload bytes"
+        );
         // Empty payload.
         let packed = delta.compress(b"reference", b"");
         assert_eq!(delta.decompress(b"reference", &packed).unwrap(), b"");
@@ -202,7 +206,9 @@ mod tests {
         let (reference, payload) = similar_payloads();
         let delta = DeltaCodec::default();
         let packed = delta.compress(&reference, &payload);
-        assert!(delta.decompress(&reference, &packed[..packed.len() / 2]).is_err());
+        assert!(delta
+            .decompress(&reference, &packed[..packed.len() / 2])
+            .is_err());
         assert!(delta.decompress(&reference, &packed[..6]).is_err());
     }
 }

@@ -231,7 +231,10 @@ mod tests {
         let data: Vec<u8> = row.iter().copied().cycle().take(100_000).collect();
         let packed = round_trip(&data);
         let ratio = data.len() as f64 / packed.len() as f64;
-        assert!(ratio > 20.0, "highly repetitive data should compress >20x, got {ratio:.1}");
+        assert!(
+            ratio > 20.0,
+            "highly repetitive data should compress >20x, got {ratio:.1}"
+        );
     }
 
     #[test]
@@ -239,7 +242,9 @@ mod tests {
         let mut state = 0xABCD_EF01u64;
         let data: Vec<u8> = (0..50_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect();

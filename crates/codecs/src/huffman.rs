@@ -298,7 +298,9 @@ mod tests {
     #[test]
     fn skewed_distribution_round_trip() {
         let freqs = [1000u64, 500, 100, 10, 1, 1, 0, 3];
-        let stream: Vec<usize> = (0..200).map(|i| [0, 0, 1, 2, 0, 3, 7, 4, 5, 1][i % 10]).collect();
+        let stream: Vec<usize> = (0..200)
+            .map(|i| [0, 0, 1, 2, 0, 3, 7, 4, 5, 1][i % 10])
+            .collect();
         round_trip_symbols(&freqs, &stream, 13);
     }
 

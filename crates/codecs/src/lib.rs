@@ -99,6 +99,51 @@ pub trait Codec: Send + Sync {
     /// Decompress a container produced by [`Codec::compress`] of the same
     /// codec, verifying the embedded checksum.
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
+
+    /// [`Codec::compress`] plus metering: records
+    /// `codecs.<name>.compress.bytes_in` / `.bytes_out` counters and a
+    /// `codecs.<name>.compress_ns` latency histogram in the global
+    /// registry. Deliberately *not* a tracing span, so storage-level
+    /// stage spans keep the codec work in their own self-time.
+    fn compress_metered(&self, input: &[u8]) -> Vec<u8> {
+        let start = std::time::Instant::now();
+        let out = self.compress(input);
+        let ns = start.elapsed().as_nanos() as u64;
+        let name = self.name();
+        obs::add(
+            &format!("codecs.{name}.compress.bytes_in"),
+            input.len() as u64,
+        );
+        obs::add(
+            &format!("codecs.{name}.compress.bytes_out"),
+            out.len() as u64,
+        );
+        obs::observe(&format!("codecs.{name}.compress_ns"), ns);
+        out
+    }
+
+    /// [`Codec::decompress`] plus metering, mirroring
+    /// [`Codec::compress_metered`]. Failed decompressions count under
+    /// `codecs.<name>.decompress.errors` instead of `.bytes_out`.
+    fn decompress_metered(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let start = std::time::Instant::now();
+        let result = self.decompress(input);
+        let ns = start.elapsed().as_nanos() as u64;
+        let name = self.name();
+        obs::add(
+            &format!("codecs.{name}.decompress.bytes_in"),
+            input.len() as u64,
+        );
+        obs::observe(&format!("codecs.{name}.decompress_ns"), ns);
+        match &result {
+            Ok(out) => obs::add(
+                &format!("codecs.{name}.decompress.bytes_out"),
+                out.len() as u64,
+            ),
+            Err(_) => obs::inc(&format!("codecs.{name}.decompress.errors")),
+        }
+        result
+    }
 }
 
 /// The identity codec: stores data without compression.
@@ -155,6 +200,32 @@ mod tests {
         let data = b"hello world".to_vec();
         assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
         assert_eq!(c.name(), "identity");
+    }
+
+    #[test]
+    fn metered_wrappers_record_bytes_and_latency() {
+        let c = Identity;
+        let data = vec![7u8; 2048];
+        let before_in = obs::counter("codecs.identity.compress.bytes_in").get();
+        let before_rt = obs::histogram("codecs.identity.decompress_ns").count();
+        let packed = c.compress_metered(&data);
+        let out = c.decompress_metered(&packed).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(
+            obs::counter("codecs.identity.compress.bytes_in").get() - before_in,
+            2048
+        );
+        assert_eq!(
+            obs::histogram("codecs.identity.decompress_ns").count() - before_rt,
+            1
+        );
+        // Corrupt input is an error counter, not bytes_out.
+        let before_err = obs::counter("codecs.gzip-lite.decompress.errors").get();
+        assert!(GzipLite::default().decompress_metered(b"junk").is_err());
+        assert_eq!(
+            obs::counter("codecs.gzip-lite.decompress.errors").get() - before_err,
+            1
+        );
     }
 
     #[test]

@@ -247,7 +247,14 @@ mod tests {
 
     #[test]
     fn direct_bits_round_trip() {
-        let values = [(0u32, 1u32), (1, 1), (0xABCD, 16), (0, 5), (31, 5), (0xFFFF_FFFF, 32)];
+        let values = [
+            (0u32, 1u32),
+            (1, 1),
+            (0xABCD, 16),
+            (0, 5),
+            (31, 5),
+            (0xFFFF_FFFF, 32),
+        ];
         let mut enc = RangeEncoder::new();
         for &(v, n) in &values {
             enc.encode_direct(v, n);
@@ -262,7 +269,10 @@ mod tests {
     #[test]
     fn bit_tree_round_trips_all_symbols() {
         let mut tree_enc = BitTree::new(8);
-        let symbols: Vec<u32> = (0..256).chain((0..256).rev()).chain([0, 255, 128, 1]).collect();
+        let symbols: Vec<u32> = (0..256)
+            .chain((0..256).rev())
+            .chain([0, 255, 128, 1])
+            .collect();
         let mut enc = RangeEncoder::new();
         for &s in &symbols {
             tree_enc.encode(&mut enc, s);
@@ -302,9 +312,7 @@ mod tests {
         // Long runs of highly-probable bits stress the carry/cache path.
         let mut enc = RangeEncoder::new();
         let mut m = BitModel::default();
-        let pattern: Vec<u32> = (0..20_000)
-            .map(|i| u32::from(i % 1000 == 999))
-            .collect();
+        let pattern: Vec<u32> = (0..20_000).map(|i| u32::from(i % 1000 == 999)).collect();
         for &b in &pattern {
             enc.encode_bit(&mut m, b);
         }

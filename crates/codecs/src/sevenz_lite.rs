@@ -177,7 +177,12 @@ mod tests {
     fn round_trip(data: &[u8]) -> Vec<u8> {
         let codec = SevenzLite::default();
         let packed = codec.compress(data);
-        assert_eq!(codec.decompress(&packed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
         packed
     }
 
@@ -208,7 +213,14 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..5000u32 {
             data.extend_from_slice(
-                format!("82100000{:04},LTE,2016-01-{:02}T{:02}:30,{},0\n", i % 500, i % 28 + 1, i % 24, i % 7).as_bytes(),
+                format!(
+                    "82100000{:04},LTE,2016-01-{:02}T{:02}:30,{},0\n",
+                    i % 500,
+                    i % 28 + 1,
+                    i % 24,
+                    i % 7
+                )
+                .as_bytes(),
             );
         }
         round_trip(&data);
@@ -219,7 +231,9 @@ mod tests {
         let mut state = 99u64;
         let data: Vec<u8> = (0..60_000)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 33) as u8
             })
             .collect();

@@ -208,7 +208,10 @@ mod tests {
         let data: Vec<u8> = row.iter().copied().cycle().take(150_000).collect();
         let snappy = round_trip(&data);
         let gzip = GzipLite::default().compress(&data);
-        assert!(snappy.len() < data.len() / 2, "must compress repetitive data");
+        assert!(
+            snappy.len() < data.len() / 2,
+            "must compress repetitive data"
+        );
         assert!(
             gzip.len() < snappy.len(),
             "entropy coding should beat tag bytes: gzip {} vs snappy {}",

@@ -105,7 +105,10 @@ mod tests {
     fn overlong_input_is_rejected() {
         let buf = vec![0x80u8; 11];
         let mut pos = 0;
-        assert!(matches!(read_u64(&buf, &mut pos), Err(CodecError::Corrupt(_))));
+        assert!(matches!(
+            read_u64(&buf, &mut pos),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -113,7 +116,10 @@ mod tests {
         let mut buf = Vec::new();
         write_u64(&mut buf, u64::from(u32::MAX) + 1);
         let mut pos = 0;
-        assert!(matches!(read_u32(&buf, &mut pos), Err(CodecError::Corrupt(_))));
+        assert!(matches!(
+            read_u32(&buf, &mut pos),
+            Err(CodecError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl ZstdLite {
     pub fn with_config(config: Lz77Config) -> Self {
         // Distance slots cover values below 2^31 within the 64-symbol
         // alphabet; 26 bits (64 MiB window) keeps extra-bit counts sane.
-        assert!(config.window_log <= 26, "window too large for distance slots");
+        assert!(
+            config.window_log <= 26,
+            "window too large for distance slots"
+        );
         Self { config, dict: None }
     }
 
@@ -176,7 +179,11 @@ impl Codec for ZstdLite {
     }
 
     fn compress(&self, input: &[u8]) -> Vec<u8> {
-        let dict_bytes = self.dict.as_deref().map(Dictionary::as_bytes).unwrap_or(&[]);
+        let dict_bytes = self
+            .dict
+            .as_deref()
+            .map(Dictionary::as_bytes)
+            .unwrap_or(&[]);
         let tokens = if dict_bytes.is_empty() {
             lz77::parse(input, self.config)
         } else {
@@ -274,17 +281,15 @@ impl Codec for ZstdLite {
         let mut buf = Vec::with_capacity(dict_bytes.len() + declared_len);
         buf.extend_from_slice(dict_bytes);
         let mut lit_pos = 0usize;
-        let take_literals = |buf: &mut Vec<u8>,
-                             lit_pos: &mut usize,
-                             n: usize|
-         -> Result<(), CodecError> {
-            if *lit_pos + n > lit_syms.len() {
-                return Err(CodecError::Corrupt("literal stream exhausted"));
-            }
-            buf.extend(lit_syms[*lit_pos..*lit_pos + n].iter().map(|&s| s as u8));
-            *lit_pos += n;
-            Ok(())
-        };
+        let take_literals =
+            |buf: &mut Vec<u8>, lit_pos: &mut usize, n: usize| -> Result<(), CodecError> {
+                if *lit_pos + n > lit_syms.len() {
+                    return Err(CodecError::Corrupt("literal stream exhausted"));
+                }
+                buf.extend(lit_syms[*lit_pos..*lit_pos + n].iter().map(|&s| s as u8));
+                *lit_pos += n;
+                Ok(())
+            };
 
         for i in 0..ll.len() {
             let (lbase, leb) = base_of(u32::from(ll[i]));

@@ -58,7 +58,11 @@ impl DeltaSnapshotStore {
     }
 
     fn path_for(&self, epoch: EpochId) -> String {
-        let kind = if self.is_anchor(epoch) { "anchor" } else { "delta" };
+        let kind = if self.is_anchor(epoch) {
+            "anchor"
+        } else {
+            "delta"
+        };
         let c = epoch.civil();
         format!(
             "{}/{:04}/{:02}/{:02}/{:010}.{kind}",

@@ -7,7 +7,6 @@ use codecs::Identity;
 use dfs::Dfs;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
 use telco_trace::cells::CellLayout;
 use telco_trace::snapshot::Snapshot;
 use telco_trace::time::EpochId;
@@ -48,12 +47,13 @@ impl ExplorationFramework for RawFramework {
     }
 
     fn ingest(&mut self, snapshot: &Snapshot) -> IngestStats {
-        let t0 = Instant::now();
+        let span = obs::span("raw.ingest");
         let stored = self.store.store(snapshot).expect("raw store");
         self.ingested.insert(snapshot.epoch.0);
+        let seconds = span.finish_secs();
         IngestStats {
             epoch: snapshot.epoch,
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds,
             raw_bytes: stored.raw_bytes,
             stored_bytes: stored.stored_bytes,
         }

@@ -9,7 +9,6 @@ use dfs::Dfs;
 use shahed::{AggStats, Point, ShahedIndex};
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
 use telco_trace::cells::{BoundingBox, CellLayout};
 use telco_trace::schema::cdr;
 use telco_trace::snapshot::Snapshot;
@@ -93,14 +92,21 @@ impl ExplorationFramework for ShahedFramework {
     }
 
     fn ingest(&mut self, snapshot: &Snapshot) -> IngestStats {
-        let t0 = Instant::now();
+        let span = obs::span("shahed.ingest");
         let stored = self.store.store(snapshot).expect("shahed store");
-        let points = self.points_of(snapshot);
-        self.index.insert_epoch(snapshot.epoch, points);
+        let points = {
+            let _s = obs::span("index_points");
+            self.points_of(snapshot)
+        };
+        {
+            let _s = obs::span("index_insert");
+            self.index.insert_epoch(snapshot.epoch, points);
+        }
         self.ingested.insert(snapshot.epoch.0);
+        let seconds = span.finish_secs();
         IngestStats {
             epoch: snapshot.epoch,
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds,
             raw_bytes: stored.raw_bytes,
             stored_bytes: stored.stored_bytes,
         }
@@ -145,7 +151,7 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_index_counts_cdr_records(){
+    fn aggregate_index_counts_cdr_records() {
         let (fw, snaps) = ingested(4);
         let stats = fw.agg_query(&BoundingBox::everything(), EpochId(0), EpochId(3));
         let expected: u64 = snaps.iter().map(|s| s.cdr.len() as u64).sum();

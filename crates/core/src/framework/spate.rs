@@ -12,7 +12,6 @@ use codecs::{Codec, GzipLite};
 use dfs::Dfs;
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Instant;
 use telco_trace::cells::CellLayout;
 use telco_trace::snapshot::Snapshot;
 use telco_trace::time::EpochId;
@@ -80,8 +79,8 @@ impl SpateFramework {
 
     /// Run a decay pass explicitly at a given "now".
     pub fn run_decay(&mut self, now: EpochId) -> DecayReport {
-        let report = decay(&mut self.index, now, &self.policy, &self.store)
-            .expect("decay eviction failed");
+        let report =
+            decay(&mut self.index, now, &self.policy, &self.store).expect("decay eviction failed");
         self.decay_log.merge(&report);
         report
     }
@@ -151,18 +150,26 @@ impl ExplorationFramework for SpateFramework {
     }
 
     fn ingest(&mut self, snapshot: &Snapshot) -> IngestStats {
-        let t0 = Instant::now();
+        // The ingest span is also the reported-seconds clock: stage spans
+        // (segment/compress/dfs.write from the storage layer, incremence
+        // with nested highlights, decay) nest under it, so the flame
+        // table's per-stage self-times add up to the figure-7 numbers.
+        let span = obs::span("spate.ingest");
         // Storage layer: compress + persist.
         let stored = self.store.store(snapshot).expect("spate store");
         // Indexing layer: incremence + highlights.
-        self.index.incremence(snapshot, &stored);
+        {
+            let _s = obs::span("incremence");
+            self.index.incremence(snapshot, &stored);
+        }
         // Decaying: continuous sliding-window eviction.
         if self.policy != DecayPolicy::never() {
             self.run_decay(snapshot.epoch);
         }
+        let seconds = span.finish_secs();
         IngestStats {
             epoch: snapshot.epoch,
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds,
             raw_bytes: stored.raw_bytes,
             stored_bytes: stored.stored_bytes,
         }
@@ -180,8 +187,14 @@ impl ExplorationFramework for SpateFramework {
     }
 
     fn query(&self, q: &Query) -> QueryResult {
-        match self.index.find_covering(q.window.0, q.window.1) {
+        let _span = obs::span("spate.query");
+        let covering = {
+            let _s = obs::span("index_probe");
+            self.index.find_covering(q.window.0, q.window.1)
+        };
+        match covering {
             Covering::Exact(leaves) => {
+                let _s = obs::span("scan");
                 let snaps: Vec<Snapshot> = leaves
                     .iter()
                     .filter_map(|l| self.store.load(l.epoch).ok())
@@ -239,8 +252,8 @@ mod tests {
         for s in &snaps {
             spate.ingest(s);
         }
-        let q = Query::new(&["upflux", "downflux"], BoundingBox::everything())
-            .with_epoch_range(1, 2);
+        let q =
+            Query::new(&["upflux", "downflux"], BoundingBox::everything()).with_epoch_range(1, 2);
         let result = spate.query(&q);
         assert!(result.is_exact());
         let expected: usize = snaps[1..=2].iter().map(|s| s.cdr.len()).sum();
@@ -325,13 +338,16 @@ mod tests {
         }
         let q_all = Query::new(&["upflux"], BoundingBox::everything())
             .with_epoch_range(0, EPOCHS_PER_DAY - 1);
-        let q_some = Query::new(
-            &["upflux"],
-            BoundingBox::new(0.0, 0.0, 38_000.0, 38_000.0),
-        )
-        .with_epoch_range(0, EPOCHS_PER_DAY - 1);
-        let (QueryResult::Summary { highlights: all, .. }, QueryResult::Summary { highlights: some, .. }) =
-            (spate.query(&q_all), spate.query(&q_some))
+        let q_some = Query::new(&["upflux"], BoundingBox::new(0.0, 0.0, 38_000.0, 38_000.0))
+            .with_epoch_range(0, EPOCHS_PER_DAY - 1);
+        let (
+            QueryResult::Summary {
+                highlights: all, ..
+            },
+            QueryResult::Summary {
+                highlights: some, ..
+            },
+        ) = (spate.query(&q_all), spate.query(&q_some))
         else {
             panic!("expected summaries");
         };
@@ -386,8 +402,7 @@ mod tests {
         let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(500, 600);
         assert!(matches!(spate.query(&q), QueryResult::Summary { .. }));
         // A window wholly outside any node's period is unavailable.
-        let q = Query::new(&["upflux"], BoundingBox::everything())
-            .with_epoch_range(20_000, 20_100);
+        let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(20_000, 20_100);
         assert!(matches!(spate.query(&q), QueryResult::Unavailable));
     }
 }

@@ -123,6 +123,7 @@ pub fn decay_with_fungus(
     store: &SnapshotStore,
 ) -> Result<DecayReport, StorageError> {
     policy.validate();
+    let _span = obs::span("decay.pass");
     let today = now.day_index();
     let mut report = DecayReport::default();
 
@@ -197,6 +198,18 @@ pub fn decay_with_fungus(
     let before = index.years_mut().len();
     index.years_mut().retain(|y| !y.decayed);
     report.years_pruned = before - index.years_mut().len();
+
+    obs::add("core.decay.leaves_evicted", report.leaves_evicted as u64);
+    obs::add("core.decay.bytes_freed", report.bytes_freed);
+    obs::add(
+        "core.decay.day_highlights_dropped",
+        report.day_highlights_dropped as u64,
+    );
+    obs::add(
+        "core.decay.month_highlights_dropped",
+        report.month_highlights_dropped as u64,
+    );
+    obs::add("core.decay.years_pruned", report.years_pruned as u64);
     Ok(report)
 }
 

@@ -328,7 +328,11 @@ impl Highlights {
             }
             let n = values.len() as f64;
             let mean = values.iter().map(|(_, v)| v).sum::<f64>() / n;
-            let var = values.iter().map(|(_, v)| (v - mean) * (v - mean)).sum::<f64>() / n;
+            let var = values
+                .iter()
+                .map(|(_, v)| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / n;
             let sd = var.sqrt();
             if sd <= 1e-12 {
                 continue; // a flat network has no peaks
@@ -450,7 +454,10 @@ mod tests {
             &config,
         );
         let mut b = Highlights::from_snapshot(
-            &snapshot_with(vec![cdr_record(1, "DROP", 30, 40)], vec![nms_record(1, 5, 1)]),
+            &snapshot_with(
+                vec![cdr_record(1, "DROP", 30, 40)],
+                vec![nms_record(1, 5, 1)],
+            ),
             &config,
         );
         b.merge(&a);
@@ -476,7 +483,9 @@ mod tests {
         let h = Highlights::from_snapshot(&snapshot_with(rows, vec![]), &config);
         let events = h.events(&config, Resolution::Day);
         assert!(
-            events.iter().any(|e| e.attribute == "call_result" && e.value == "FAIL"),
+            events
+                .iter()
+                .any(|e| e.attribute == "call_result" && e.value == "FAIL"),
             "{events:?}"
         );
         // SUCCESS is frequent → not a highlight.
@@ -507,7 +516,10 @@ mod tests {
         let config = HighlightConfig::default();
         let h = Highlights::from_snapshot(
             &snapshot_with(
-                vec![cdr_record(1, "SUCCESS", 1, 1), cdr_record(2, "SUCCESS", 1, 1)],
+                vec![
+                    cdr_record(1, "SUCCESS", 1, 1),
+                    cdr_record(2, "SUCCESS", 1, 1),
+                ],
                 vec![],
             ),
             &config,
@@ -534,10 +546,7 @@ mod tests {
         let h = Highlights::from_snapshot(&snapshot_with(rows, nms_rows), &config);
 
         let events = h.numeric_events(3.0);
-        let drop_events: Vec<_> = events
-            .iter()
-            .filter(|e| e.measure == "drop_rate")
-            .collect();
+        let drop_events: Vec<_> = events.iter().filter(|e| e.measure == "drop_rate").collect();
         assert_eq!(drop_events.len(), 1, "{events:?}");
         assert_eq!(drop_events[0].cell_id, 99);
         assert!((drop_events[0].peak - 0.6).abs() < 1e-9);
@@ -553,10 +562,8 @@ mod tests {
         let h = Highlights::from_snapshot(&snapshot_with(vec![], nms_rows), &config);
         assert!(h.numeric_events(3.0).is_empty());
         // Too few cells → no population statistics → no highlights.
-        let h2 = Highlights::from_snapshot(
-            &snapshot_with(vec![], vec![nms_record(0, 10, 9)]),
-            &config,
-        );
+        let h2 =
+            Highlights::from_snapshot(&snapshot_with(vec![], vec![nms_record(0, 10, 9)]), &config);
         assert!(h2.numeric_events(1.0).is_empty());
     }
 

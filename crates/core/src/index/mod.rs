@@ -166,11 +166,14 @@ impl TemporalIndex {
         let day = month.days.last_mut().unwrap();
 
         // Leaf insertion + highlight rollup along the path.
-        let leaf_highlights = Highlights::from_snapshot(snapshot, &self.config);
-        day.highlights.merge(&leaf_highlights);
-        month.highlights.merge(&leaf_highlights);
-        year.highlights.merge(&leaf_highlights);
-        self.root_highlights.merge(&leaf_highlights);
+        {
+            let _s = obs::span("highlights");
+            let leaf_highlights = Highlights::from_snapshot(snapshot, &self.config);
+            day.highlights.merge(&leaf_highlights);
+            month.highlights.merge(&leaf_highlights);
+            year.highlights.merge(&leaf_highlights);
+            self.root_highlights.merge(&leaf_highlights);
+        }
         day.leaves.push(EpochLeaf {
             epoch,
             path: stored.path.clone(),

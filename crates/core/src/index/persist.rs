@@ -473,7 +473,10 @@ mod tests {
         assert!(matches!(from_bytes(b"NOPE!"), Err(PersistError::BadMagic)));
         let mut image = to_bytes(&build_index(4));
         image[4] = 99;
-        assert!(matches!(from_bytes(&image), Err(PersistError::BadVersion(99))));
+        assert!(matches!(
+            from_bytes(&image),
+            Err(PersistError::BadVersion(99))
+        ));
     }
 
     #[test]

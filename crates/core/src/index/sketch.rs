@@ -80,10 +80,8 @@ impl SpaceSaving {
             return;
         }
         if self.counters.len() < self.capacity {
-            self.counters.insert(
-                value.to_string(),
-                Counter { count: n, error: 0 },
-            );
+            self.counters
+                .insert(value.to_string(), Counter { count: n, error: 0 });
             return;
         }
         // Evict the minimum counter; the newcomer inherits its count as
@@ -187,7 +185,9 @@ impl SpaceSaving {
 
     /// Rough memory footprint (for index-space accounting).
     pub fn approx_bytes(&self) -> u64 {
-        self.counters.keys().map(|k| k.len() as u64 + 24)
+        self.counters
+            .keys()
+            .map(|k| k.len() as u64 + 24)
             .sum::<u64>()
             + 32
     }
@@ -262,7 +262,9 @@ mod tests {
         let mut truth: HashMap<String, u64> = HashMap::new();
         let mut state = 99u64;
         for _ in 0..20_000 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             // Zipf-ish over 200 values.
             let v = format!("z{}", (state % 200).min(state % 7));
             *truth.entry(v.clone()).or_insert(0) += 1;

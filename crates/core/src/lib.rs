@@ -55,11 +55,11 @@ pub mod session;
 pub mod storage;
 pub mod tasks;
 
+pub use delta_store::DeltaSnapshotStore;
 pub use framework::{ExplorationFramework, RawFramework, ShahedFramework, SpateFramework};
 pub use index::decay::{DecayPolicy, DecayReport};
 pub use index::highlights::{HighlightConfig, Highlights};
 pub use index::TemporalIndex;
 pub use query::{Query, QueryResult};
 pub use session::ExplorerSession;
-pub use delta_store::DeltaSnapshotStore;
 pub use storage::SnapshotStore;

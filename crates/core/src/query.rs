@@ -146,11 +146,7 @@ impl Projection {
 }
 
 /// Evaluate the exact branch: project + spatially filter loaded snapshots.
-pub fn project_snapshots(
-    snapshots: &[Snapshot],
-    q: &Query,
-    layout: &CellLayout,
-) -> ExactResult {
+pub fn project_snapshots(snapshots: &[Snapshot], q: &Query, layout: &CellLayout) -> ExactResult {
     let projection = Projection::resolve(&q.attributes);
     let cells: HashSet<u32> = layout.cells_in(&q.bbox).into_iter().collect();
 
@@ -179,9 +175,13 @@ pub fn project_snapshots(
             for r in &snap.cdr {
                 let cell = r.get(cdr::CELL_ID).as_i64().unwrap_or(-1);
                 if cell >= 0 && cells.contains(&(cell as u32)) {
-                    out.cdr
-                        .rows
-                        .push(projection.cdr_cols.iter().map(|&c| r.get(c).clone()).collect());
+                    out.cdr.rows.push(
+                        projection
+                            .cdr_cols
+                            .iter()
+                            .map(|&c| r.get(c).clone())
+                            .collect(),
+                    );
                 }
             }
         }
@@ -192,9 +192,13 @@ pub fn project_snapshots(
                     .as_i64()
                     .unwrap_or(-1);
                 if cell >= 0 && cells.contains(&(cell as u32)) {
-                    out.nms
-                        .rows
-                        .push(projection.nms_cols.iter().map(|&c| r.get(c).clone()).collect());
+                    out.nms.rows.push(
+                        projection
+                            .nms_cols
+                            .iter()
+                            .map(|&c| r.get(c).clone())
+                            .collect(),
+                    );
                 }
             }
         }
@@ -209,8 +213,8 @@ mod tests {
 
     #[test]
     fn query_builder() {
-        let q = Query::new(&["upflux", "downflux"], BoundingBox::everything())
-            .with_epoch_range(3, 9);
+        let q =
+            Query::new(&["upflux", "downflux"], BoundingBox::everything()).with_epoch_range(3, 9);
         assert_eq!(q.window_len(), 7);
         assert_eq!(q.attributes.len(), 2);
     }
@@ -238,8 +242,8 @@ mod tests {
         let mut generator = TraceGenerator::new(TraceConfig::tiny());
         let layout = generator.layout().clone();
         let snaps: Vec<Snapshot> = (&mut generator).take(2).collect();
-        let q = Query::new(&["upflux", "downflux"], BoundingBox::everything())
-            .with_epoch_range(0, 1);
+        let q =
+            Query::new(&["upflux", "downflux"], BoundingBox::everything()).with_epoch_range(0, 1);
         let result = project_snapshots(&snaps, &q, &layout);
         let total_cdr: usize = snaps.iter().map(|s| s.cdr.len()).sum();
         assert_eq!(result.cdr.rows.len(), total_cdr);

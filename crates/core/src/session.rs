@@ -156,8 +156,8 @@ mod tests {
     fn cached_answers_match_direct_answers() {
         let fw = session_fixture();
         let mut session = ExplorerSession::new(&fw);
-        let broad = Query::new(&["upflux", "downflux"], BoundingBox::everything())
-            .with_epoch_range(0, 7);
+        let broad =
+            Query::new(&["upflux", "downflux"], BoundingBox::everything()).with_epoch_range(0, 7);
         session.explore(&broad);
 
         // Different attributes AND different bbox on the cached window.
@@ -176,19 +176,13 @@ mod tests {
     fn widening_refills_the_cache() {
         let fw = session_fixture();
         let mut session = ExplorerSession::new(&fw);
-        session.explore(
-            &Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(2, 4),
-        );
+        session.explore(&Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(2, 4));
         // A wider window misses and replaces the cache.
-        session.explore(
-            &Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 6),
-        );
+        session.explore(&Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 6));
         assert_eq!(session.stats().cache_misses, 2);
         assert_eq!(session.cached_window(), Some((EpochId(0), EpochId(6))));
         // Now the original window is a cache hit.
-        session.explore(
-            &Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(2, 4),
-        );
+        session.explore(&Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(2, 4));
         assert_eq!(session.stats().cache_hits, 1);
     }
 

@@ -116,9 +116,19 @@ impl SnapshotStore {
     }
 
     /// Serialize, compress and persist one snapshot.
+    ///
+    /// Each stage opens a tracing span ("segment" → "compress" →
+    /// "dfs.write", the last inside the dfs crate) so the flame table
+    /// attributes ingestion wall time per stage.
     pub fn store(&self, snapshot: &Snapshot) -> Result<StoredSnapshot, StorageError> {
-        let raw = snapshot.to_bytes();
-        let packed = self.codec.compress(&raw);
+        let raw = {
+            let _s = obs::span("segment");
+            snapshot.to_bytes()
+        };
+        let packed = {
+            let _s = obs::span("compress");
+            self.codec.compress_metered(&raw)
+        };
         let path = self.path_for(snapshot.epoch);
         self.dfs.write(&path, &packed)?;
         Ok(StoredSnapshot {
@@ -137,8 +147,7 @@ impl SnapshotStore {
             Err(DfsError::NotFound(_)) => return Err(StorageError::Missing(epoch)),
             Err(e) => return Err(e.into()),
         };
-        let raw = self.codec.decompress(&packed)?;
-        Ok(Snapshot::from_bytes(&raw)?)
+        self.decode(&packed)
     }
 
     /// Read the *compressed* bytes of an epoch without decoding (used by
@@ -154,7 +163,11 @@ impl SnapshotStore {
 
     /// Decode previously-fetched compressed bytes.
     pub fn decode(&self, packed: &[u8]) -> Result<Snapshot, StorageError> {
-        let raw = self.codec.decompress(packed)?;
+        let raw = {
+            let _s = obs::span("decompress");
+            self.codec.decompress_metered(packed)?
+        };
+        let _s = obs::span("parse");
         Ok(Snapshot::from_bytes(&raw)?)
     }
 
@@ -199,7 +212,10 @@ mod tests {
         let snap = generator.next_snapshot().unwrap();
         let stored = store.store(&snap).unwrap();
         assert_eq!(stored.epoch, snap.epoch);
-        assert!(stored.stored_bytes < stored.raw_bytes, "telco text must compress");
+        assert!(
+            stored.stored_bytes < stored.raw_bytes,
+            "telco text must compress"
+        );
         assert!(stored.ratio() > 2.0);
 
         let loaded = store.load(snap.epoch).unwrap();
@@ -214,7 +230,10 @@ mod tests {
     fn paths_follow_the_temporal_hierarchy() {
         let store = store_with(Arc::new(Identity));
         // Epoch 31 on day 0 → 2016-01-18.
-        assert_eq!(store.path_for(EpochId(31)), "/spate/2016/01/18/0000000031.snap");
+        assert_eq!(
+            store.path_for(EpochId(31)),
+            "/spate/2016/01/18/0000000031.snap"
+        );
         // Day 14 → 2016-02-01.
         assert_eq!(
             store.path_for(EpochId(14 * 48)),

@@ -11,12 +11,10 @@
 
 use crate::framework::ExplorationFramework;
 use engine::{
-    colstats, correlation_matrix, kmeans, linreg_ridge, ColStats, Dataset, KMeansModel,
-    LinearModel,
+    colstats, correlation_matrix, kmeans, linreg_ridge, ColStats, Dataset, KMeansModel, LinearModel,
 };
 use privacy::{Anonymizer, Hierarchy};
 use std::collections::HashMap;
-use std::time::Instant;
 use telco_trace::schema::{cdr, nms};
 use telco_trace::time::EpochId;
 
@@ -26,11 +24,8 @@ pub type Seconds = f64;
 /// T1 — Equality: "retrieve the download and upload bytes for a requested
 /// snapshot, e.g. `SELECT upflux, downflux FROM CDR WHERE
 /// ts='201601221530'`".
-pub fn t1_equality(
-    fw: &dyn ExplorationFramework,
-    epoch: EpochId,
-) -> (Vec<(i64, i64)>, Seconds) {
-    let t0 = Instant::now();
+pub fn t1_equality(fw: &dyn ExplorationFramework, epoch: EpochId) -> (Vec<(i64, i64)>, Seconds) {
+    let span = obs::span("core.task.t1_equality");
     let rows = match fw.load_epoch(epoch) {
         Some(snap) => {
             let ts = epoch.civil().compact();
@@ -47,7 +42,7 @@ pub fn t1_equality(
         }
         None => vec![],
     };
-    (rows, t0.elapsed().as_secs_f64())
+    (rows, span.finish_secs())
 }
 
 /// T2 — Range: the same projection over a time window
@@ -57,7 +52,7 @@ pub fn t2_range(
     start: EpochId,
     end: EpochId,
 ) -> (Vec<(i64, i64)>, Seconds) {
-    let t0 = Instant::now();
+    let span = obs::span("core.task.t2_range");
     let mut rows = Vec::new();
     for snap in fw.scan(start, end) {
         for r in &snap.cdr {
@@ -67,7 +62,7 @@ pub fn t2_range(
             ));
         }
     }
-    (rows, t0.elapsed().as_secs_f64())
+    (rows, span.finish_secs())
 }
 
 /// Output of T3: drop counters per cell and drop-call rate per cluster of
@@ -86,7 +81,7 @@ pub fn t3_aggregate(
     start: EpochId,
     end: EpochId,
 ) -> (AggregateResult, Seconds) {
-    let t0 = Instant::now();
+    let span = obs::span("core.task.t3_aggregate");
     let mut drops_per_cell: HashMap<u32, i64> = HashMap::new();
     let mut cluster_counts: HashMap<u32, (i64, i64)> = HashMap::new(); // (drops, attempts)
     let layout = fw.layout();
@@ -110,7 +105,14 @@ pub fn t3_aggregate(
     let drop_rate_per_cluster = cluster_counts
         .into_iter()
         .map(|(cluster, (drops, attempts))| {
-            (cluster, if attempts > 0 { drops as f64 / attempts as f64 } else { 0.0 })
+            (
+                cluster,
+                if attempts > 0 {
+                    drops as f64 / attempts as f64
+                } else {
+                    0.0
+                },
+            )
         })
         .collect();
     (
@@ -118,7 +120,7 @@ pub fn t3_aggregate(
             drops_per_cell,
             drop_rate_per_cluster,
         },
-        t0.elapsed().as_secs_f64(),
+        span.finish_secs(),
     )
 }
 
@@ -144,7 +146,7 @@ pub fn t4_join(
     start: EpochId,
     end: EpochId,
 ) -> (Vec<Relocation>, Seconds) {
-    let t0 = Instant::now();
+    let span = obs::span("core.task.t4_join");
     let mut out = Vec::new();
     for e1 in start.0..=end.0 {
         let Some(outer) = fw.load_epoch(EpochId(e1)) else {
@@ -184,7 +186,7 @@ pub fn t4_join(
             }
         }
     }
-    (out, t0.elapsed().as_secs_f64())
+    (out, span.finish_secs())
 }
 
 /// T5 — Privacy: "retrieves and anonymizes the result set based on the
@@ -200,7 +202,7 @@ pub fn t5_privacy(
     end: EpochId,
     k: usize,
 ) -> (Option<privacy::AnonymizedTable>, Seconds) {
-    let t0 = Instant::now();
+    let span = obs::span("core.task.t5_privacy");
     let mut records = Vec::new();
     for snap in fw.scan(start, end) {
         records.extend(snap.cdr.iter().cloned());
@@ -221,11 +223,16 @@ pub fn t5_privacy(
     )
     .with_suppression_limit(0.05);
     let result = anonymizer.anonymize(&records);
-    (result, t0.elapsed().as_secs_f64())
+    (result, span.finish_secs())
 }
 
 /// Numeric CDR columns analyzed by T6/T8.
-const T6_COLUMNS: [usize; 4] = [cdr::DURATION_S, cdr::UPFLUX, cdr::DOWNFLUX, cdr::BILLING_CLASS];
+const T6_COLUMNS: [usize; 4] = [
+    cdr::DURATION_S,
+    cdr::UPFLUX,
+    cdr::DOWNFLUX,
+    cdr::BILLING_CLASS,
+];
 
 /// Output of T6: column statistics plus the Pearson correlation matrix
 /// over the analyzed columns.
@@ -245,7 +252,7 @@ pub fn t6_statistics(
     start: EpochId,
     end: EpochId,
 ) -> (Option<StatisticsResult>, Seconds) {
-    let t0 = Instant::now();
+    let span = obs::span("core.task.t6_statistics");
     let mut rows: Vec<Vec<f64>> = Vec::new();
     for snap in fw.scan(start, end) {
         for r in &snap.cdr {
@@ -268,7 +275,7 @@ pub fn t6_statistics(
         }),
         _ => None,
     };
-    (result, t0.elapsed().as_secs_f64())
+    (result, span.finish_secs())
 }
 
 /// T7 — Clustering: "cluster a specific range of snapshots using the
@@ -281,7 +288,7 @@ pub fn t7_clustering(
     end: EpochId,
     k: usize,
 ) -> (KMeansModel, Seconds) {
-    let t0 = Instant::now();
+    let span = obs::span("core.task.t7_clustering");
     let layout = fw.layout();
     let mut points: Vec<Vec<f64>> = Vec::new();
     for snap in fw.scan(start, end) {
@@ -302,7 +309,7 @@ pub fn t7_clustering(
         }
     }
     let model = kmeans(&Dataset::parallelize(points), k, 20);
-    (model, t0.elapsed().as_secs_f64())
+    (model, span.finish_secs())
 }
 
 /// T8 — Regression: "estimates relationships among the attributes ...
@@ -315,7 +322,7 @@ pub fn t8_regression(
     start: EpochId,
     end: EpochId,
 ) -> (Option<LinearModel>, Seconds) {
-    let t0 = Instant::now();
+    let span = obs::span("core.task.t8_regression");
     let mut samples: Vec<(Vec<f64>, f64)> = Vec::new();
     for snap in fw.scan(start, end) {
         for r in &snap.nms {
@@ -333,7 +340,7 @@ pub fn t8_regression(
     // A whisper of ridge keeps quiet windows (all-zero drop columns)
     // solvable without meaningfully biasing the fit.
     let model = linreg_ridge(Dataset::parallelize(samples), 3, 1e-6);
-    (model, t0.elapsed().as_secs_f64())
+    (model, span.finish_secs())
 }
 
 #[cfg(test)]

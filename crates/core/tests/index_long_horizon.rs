@@ -125,8 +125,7 @@ fn multi_year_decay_prunes_whole_years() {
         year_highlight_days: 400,
     };
     let last = index.last_epoch().unwrap();
-    let report =
-        spate_core::index::decay::decay(&mut index, last, &policy, &store).unwrap();
+    let report = spate_core::index::decay::decay(&mut index, last, &policy, &store).unwrap();
     // 800 days in: everything of 2016 is older than 400 days → pruned.
     assert_eq!(report.years_pruned, 1);
     assert_eq!(

@@ -86,8 +86,7 @@ fn summary_counters_match_exact_row_counts() {
     }
     for (cell, count) in per_cell {
         assert_eq!(
-            day.highlights.per_cell[&cell].cdr_records,
-            count,
+            day.highlights.per_cell[&cell].cdr_records, count,
             "cell {cell}"
         );
     }
@@ -119,8 +118,11 @@ fn session_and_direct_paths_agree_under_mixed_zooming() {
     let queries = [
         Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 9),
         Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(3, 6),
-        Query::new(&["upflux"], BoundingBox::new(0.0, 0.0, side / 2.0, side / 2.0))
-            .with_epoch_range(4, 5),
+        Query::new(
+            &["upflux"],
+            BoundingBox::new(0.0, 0.0, side / 2.0, side / 2.0),
+        )
+        .with_epoch_range(4, 5),
         Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 9),
     ];
     for q in &queries {
@@ -138,8 +140,7 @@ fn session_and_direct_paths_agree_under_mixed_zooming() {
 fn empty_boxes_and_windows_return_empty_exact_results() {
     let (_, spate, _) = fixtures(3);
     // A zero-area box in an empty corner.
-    let q = Query::new(&["upflux"], BoundingBox::new(0.0, 0.0, 0.0, 0.0))
-        .with_epoch_range(0, 2);
+    let q = Query::new(&["upflux"], BoundingBox::new(0.0, 0.0, 0.0, 0.0)).with_epoch_range(0, 2);
     let QueryResult::Exact(e) = spate.query(&q) else {
         panic!("expected exact");
     };

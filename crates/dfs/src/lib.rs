@@ -41,7 +41,10 @@ pub enum DfsError {
     NotFound(String),
     AlreadyExists(String),
     /// Every replica of a needed block is on dead datanodes.
-    BlockUnavailable { path: String, block: u64 },
+    BlockUnavailable {
+        path: String,
+        block: u64,
+    },
     NoLiveDatanodes,
 }
 
@@ -224,6 +227,7 @@ impl Dfs {
     /// Write a new file. Fails if the path exists (HDFS files are
     /// write-once, matching snapshot immutability).
     pub fn write(&self, path: &str, data: &[u8]) -> Result<(), DfsError> {
+        let _span = obs::span("dfs.write");
         let inner = &self.inner;
         {
             let ns = inner.namespace.read();
@@ -243,8 +247,13 @@ impl Dfs {
         }
 
         // Replication pipeline: the client pays one pass of write bandwidth
-        // (replica forwarding overlaps in HDFS).
-        inner.config.io.throttle(data.len(), inner.config.io.write_mbps);
+        // (replica forwarding overlaps in HDFS). The pipeline histogram
+        // covers the bandwidth charge plus replica placement.
+        let pipeline_start = std::time::Instant::now();
+        inner
+            .config
+            .io
+            .throttle(data.len(), inner.config.io.write_mbps);
 
         let replication = inner.config.replication.min(live.len());
         let mut blocks = Vec::new();
@@ -262,8 +271,16 @@ impl Dfs {
                 replicas.push(dn);
             }
             blocks.push(block_id);
-            inner.namespace.write().blocks.insert(block_id, BlockMeta { replicas });
+            inner
+                .namespace
+                .write()
+                .blocks
+                .insert(block_id, BlockMeta { replicas });
         }
+        obs::observe(
+            "dfs.write.pipeline_ns",
+            pipeline_start.elapsed().as_nanos() as u64,
+        );
         inner.namespace.write().files.insert(
             path.to_string(),
             FileMeta {
@@ -274,17 +291,22 @@ impl Dfs {
         inner
             .metrics
             .record_write(data.len() as u64, replication as u64);
+        obs::add("dfs.write.bytes", data.len() as u64);
         Ok(())
     }
 
     /// Read a whole file. Recently read files are served from the page
     /// cache (if configured) without paying the disk cost.
     pub fn read(&self, path: &str) -> Result<Vec<u8>, DfsError> {
+        let _span = obs::span("dfs.read");
         let inner = &self.inner;
         if let Some(cached) = inner.cache.get(path) {
+            obs::inc("dfs.cache.hits");
+            obs::add("dfs.read.bytes", cached.len() as u64);
             inner.metrics.record_read(cached.len() as u64);
             return Ok(cached.as_ref().clone());
         }
+        obs::inc("dfs.cache.misses");
         let (len, blocks) = {
             let ns = inner.namespace.read();
             let meta = ns
@@ -293,7 +315,10 @@ impl Dfs {
                 .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
             (meta.len, meta.blocks.clone())
         };
-        inner.config.io.throttle(len as usize, inner.config.io.read_mbps);
+        inner
+            .config
+            .io
+            .throttle(len as usize, inner.config.io.read_mbps);
         let mut out = Vec::with_capacity(len as usize);
         for block_id in blocks {
             let replicas = {
@@ -319,6 +344,7 @@ impl Dfs {
             }
         }
         inner.metrics.record_read(out.len() as u64);
+        obs::add("dfs.read.bytes", out.len() as u64);
         let shared = std::sync::Arc::new(out);
         inner.cache.put(path, std::sync::Arc::clone(&shared));
         Ok(std::sync::Arc::try_unwrap(shared).unwrap_or_else(|arc| arc.as_ref().clone()))
@@ -326,6 +352,7 @@ impl Dfs {
 
     /// Delete a file, freeing its blocks. Returns the logical bytes freed.
     pub fn delete(&self, path: &str) -> Result<u64, DfsError> {
+        let _span = obs::span("dfs.delete");
         let inner = &self.inner;
         inner.cache.invalidate(path);
         let meta = {
@@ -348,6 +375,8 @@ impl Dfs {
             }
         }
         inner.metrics.record_delete(meta.len, replicas_freed);
+        obs::inc("dfs.delete.ops");
+        obs::add("dfs.delete.bytes", meta.len);
         Ok(meta.len)
     }
 
@@ -421,7 +450,10 @@ mod tests {
         let data = b"hello distributed world".repeat(100);
         fs.write("/traces/day0/snap0", &data).unwrap();
         assert_eq!(fs.read("/traces/day0/snap0").unwrap(), data);
-        assert_eq!(fs.file_len("/traces/day0/snap0").unwrap(), data.len() as u64);
+        assert_eq!(
+            fs.file_len("/traces/day0/snap0").unwrap(),
+            data.len() as u64
+        );
         assert!(fs.exists("/traces/day0/snap0"));
         assert!(!fs.exists("/traces/day0/snap1"));
     }
@@ -430,7 +462,10 @@ mod tests {
     fn files_are_write_once() {
         let fs = Dfs::in_memory();
         fs.write("/a", b"1").unwrap();
-        assert_eq!(fs.write("/a", b"2"), Err(DfsError::AlreadyExists("/a".into())));
+        assert_eq!(
+            fs.write("/a", b"2"),
+            Err(DfsError::AlreadyExists("/a".into()))
+        );
     }
 
     #[test]
@@ -514,6 +549,10 @@ mod tests {
         assert_eq!(m.physical_bytes, 1500);
         assert_eq!(m.n_files, 1);
         assert!(!fs.exists("/tmp/a"));
+        // The delete itself is metered, not silently dropped.
+        assert_eq!(m.deletes, 1);
+        assert_eq!(m.bytes_deleted, 1000);
+        assert_eq!(m.replicas_freed, 3); // one block × replication 3
     }
 
     #[test]

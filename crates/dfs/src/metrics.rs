@@ -19,6 +19,12 @@ pub struct DfsMetrics {
     pub writes: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    /// Completed delete operations.
+    pub deletes: u64,
+    /// Logical bytes freed by deletes.
+    pub bytes_deleted: u64,
+    /// Replica blocks reclaimed from datanodes by deletes.
+    pub replicas_freed: u64,
 }
 
 /// Internal atomic counters.
@@ -28,6 +34,9 @@ pub(crate) struct MetricsInner {
     writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    deletes: AtomicU64,
+    bytes_deleted: AtomicU64,
+    replicas_freed: AtomicU64,
 }
 
 impl MetricsInner {
@@ -41,7 +50,11 @@ impl MetricsInner {
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_delete(&self, _logical: u64, _replicas: u64) {}
+    pub(crate) fn record_delete(&self, logical: u64, replicas: u64) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_deleted.fetch_add(logical, Ordering::Relaxed);
+        self.replicas_freed.fetch_add(replicas, Ordering::Relaxed);
+    }
 
     pub(crate) fn snapshot(
         &self,
@@ -59,6 +72,9 @@ impl MetricsInner {
             writes: self.writes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            bytes_deleted: self.bytes_deleted.load(Ordering::Relaxed),
+            replicas_freed: self.replicas_freed.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,5 +96,16 @@ mod tests {
         assert_eq!(s.bytes_written, 5);
         assert_eq!(s.n_files, 1);
         assert_eq!(s.physical_bytes, 15);
+    }
+
+    #[test]
+    fn deletes_are_counted_not_dropped() {
+        let m = MetricsInner::default();
+        m.record_delete(1000, 3);
+        m.record_delete(500, 2);
+        let s = m.snapshot(0, 0, 0, 0);
+        assert_eq!(s.deletes, 2);
+        assert_eq!(s.bytes_deleted, 1500);
+        assert_eq!(s.replicas_freed, 5);
     }
 }

@@ -6,7 +6,8 @@ use dfs::{Dfs, DfsConfig, IoModel};
 fn concurrent_cached_readers_see_consistent_data() {
     let fs = Dfs::new(DfsConfig::default().with_cache(1 << 20));
     for i in 0..16 {
-        fs.write(&format!("/hot/{i}"), &vec![i as u8; 4096]).unwrap();
+        fs.write(&format!("/hot/{i}"), &vec![i as u8; 4096])
+            .unwrap();
     }
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -23,7 +24,10 @@ fn concurrent_cached_readers_see_consistent_data() {
     });
     let (hits, misses) = fs.cache_stats();
     assert_eq!(hits + misses, 8 * 50);
-    assert!(hits > misses, "working set fits: hits {hits} misses {misses}");
+    assert!(
+        hits > misses,
+        "working set fits: hits {hits} misses {misses}"
+    );
 }
 
 #[test]

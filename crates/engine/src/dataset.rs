@@ -77,10 +77,12 @@ impl<T: Send + Sync> Dataset<T> {
     }
 
     pub fn map<U: Send>(self, f: impl Fn(T) -> U + Sync) -> Dataset<U> {
+        let _s = obs::span("engine.map");
         self.run_partitions(|part| part.into_iter().map(&f).collect())
     }
 
     pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> Dataset<T> {
+        let _s = obs::span("engine.filter");
         self.run_partitions(|part| part.into_iter().filter(|t| pred(t)).collect())
     }
 
@@ -88,6 +90,7 @@ impl<T: Send + Sync> Dataset<T> {
         self,
         f: impl Fn(T) -> I + Sync,
     ) -> Dataset<U> {
+        let _s = obs::span("engine.flat_map");
         self.run_partitions(|part| part.into_iter().flat_map(&f).collect())
     }
 
@@ -103,6 +106,7 @@ impl<T: Send + Sync> Dataset<T> {
         seq: impl Fn(A, &T) -> A + Sync,
         comb: impl Fn(A, A) -> A,
     ) -> A {
+        let _s = obs::span("engine.aggregate");
         let partials = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .partitions
@@ -124,6 +128,7 @@ impl<T: Send + Sync> Dataset<T> {
 
     /// Parallel reduction; `None` on an empty dataset.
     pub fn reduce(self, f: impl Fn(T, T) -> T + Sync) -> Option<T> {
+        let _s = obs::span("engine.reduce");
         let partials = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .partitions
@@ -151,6 +156,7 @@ where
     /// Merge values per key with `f` (Spark's `reduceByKey`): local combine
     /// per partition, then a global merge.
     pub fn reduce_by_key(self, f: impl Fn(V, V) -> V + Sync) -> HashMap<K, V> {
+        let _s = obs::span("engine.reduce_by_key");
         let locals: Vec<HashMap<K, V>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .partitions
@@ -215,6 +221,7 @@ where
 {
     /// Inner hash join on the key.
     pub fn join<W: Send + Sync + Clone>(self, other: Dataset<(K, W)>) -> Dataset<(K, (V, W))> {
+        let _s = obs::span("engine.join");
         // Build side: the other dataset's grouped map.
         let build: HashMap<K, Vec<W>> = other.group_by_key();
         let build = &build;

@@ -19,6 +19,5 @@ pub mod ml;
 
 pub use dataset::Dataset;
 pub use ml::{
-    colstats, correlation_matrix, kmeans, linreg, linreg_ridge, ColStats, KMeansModel,
-    LinearModel,
+    colstats, correlation_matrix, kmeans, linreg, linreg_ridge, ColStats, KMeansModel, LinearModel,
 };

@@ -13,8 +13,8 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
 
     for col in 0..n {
         // Partial pivot: largest |a[row][col]| among remaining rows.
-        let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -97,7 +97,9 @@ mod tests {
         let n = 6;
         let mut seed = 0x5EEDu64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for _ in 0..20 {

@@ -158,7 +158,11 @@ pub fn correlation_matrix(rows: Dataset<Vec<f64>>, dims: usize) -> Option<Vec<Ve
             let var_i = cross[i][i] / n - (sums[i] / n) * (sums[i] / n);
             let var_j = cross[j][j] / n - (sums[j] / n) * (sums[j] / n);
             let denom = (var_i * var_j).sqrt();
-            let r = if denom > 1e-12 { (cov / denom).clamp(-1.0, 1.0) } else { 0.0 };
+            let r = if denom > 1e-12 {
+                (cov / denom).clamp(-1.0, 1.0)
+            } else {
+                0.0
+            };
             corr[i][j] = r;
             corr[j][i] = r;
         }
@@ -431,7 +435,11 @@ mod tests {
         }
         assert!((corr[0][1] - 1.0).abs() < 1e-9, "perfect positive");
         assert!((corr[0][2] + 1.0).abs() < 1e-9, "perfect negative");
-        assert!(corr[0][3].abs() < 0.3, "independent columns ~0: {}", corr[0][3]);
+        assert!(
+            corr[0][3].abs() < 0.3,
+            "independent columns ~0: {}",
+            corr[0][3]
+        );
     }
 
     #[test]
@@ -503,7 +511,11 @@ mod tests {
             })
             .collect();
         let m = linreg(ds(samples), 2).unwrap();
-        assert!((m.intercept - 3.0).abs() < 1e-8, "intercept {}", m.intercept);
+        assert!(
+            (m.intercept - 3.0).abs() < 1e-8,
+            "intercept {}",
+            m.intercept
+        );
         assert!((m.weights[0] - 2.0).abs() < 1e-8);
         assert!((m.weights[1] + 5.0).abs() < 1e-8);
         assert!(m.r2 > 0.999999);
@@ -533,8 +545,7 @@ mod tests {
     fn linreg_degenerate_inputs() {
         assert!(linreg(ds::<(Vec<f64>, f64)>(vec![]), 2).is_none());
         // Constant feature duplicating the intercept → singular.
-        let samples: Vec<(Vec<f64>, f64)> =
-            (0..10).map(|i| (vec![1.0], f64::from(i))).collect();
+        let samples: Vec<(Vec<f64>, f64)> = (0..10).map(|i| (vec![1.0], f64::from(i))).collect();
         assert!(linreg(ds(samples), 1).is_none());
     }
 }

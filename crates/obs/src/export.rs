@@ -1,0 +1,259 @@
+//! Exporters: Prometheus-style text dump, sorted flame table, and JSON.
+
+use crate::registry::Registry;
+use crate::span::SpanStats;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Sanitize a metric name for the Prometheus exposition format.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Prometheus-style text exposition of every counter, gauge, histogram
+/// and span in the registry.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, c) in registry.counters_snapshot() {
+        let n = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {}", c.get());
+    }
+    for (name, g) in registry.gauges_snapshot() {
+        let n = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", g.get());
+    }
+    for (name, h) in registry.histograms_snapshot() {
+        let n = prom_name(&name);
+        let s = h.snapshot();
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [(0.5, s.p50), (0.9, s.p90), (0.99, s.p99)] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{n}_sum {}", s.sum);
+        let _ = writeln!(out, "{n}_count {}", s.count);
+    }
+    for (path, st) in registry.spans_snapshot() {
+        let d = st.durations.snapshot();
+        let _ = writeln!(out, "# TYPE span_seconds summary");
+        for (q, v) in [(0.5, d.p50), (0.9, d.p90), (0.99, d.p99)] {
+            let _ = writeln!(
+                out,
+                "span_seconds{{path=\"{path}\",quantile=\"{q}\"}} {:.9}",
+                v as f64 / 1e9
+            );
+        }
+        let _ = writeln!(
+            out,
+            "span_seconds_sum{{path=\"{path}\"}} {:.9}",
+            st.total_ns.load(Ordering::Relaxed) as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "span_seconds_count{{path=\"{path}\"}} {}",
+            st.calls.load(Ordering::Relaxed)
+        );
+    }
+    out
+}
+
+/// One resolved row of the flame table.
+struct SpanRow {
+    path: String,
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+    p99_ns: u64,
+}
+
+fn span_rows(registry: &Registry) -> Vec<SpanRow> {
+    registry
+        .spans_snapshot()
+        .into_iter()
+        .map(|(path, st): (String, Arc<SpanStats>)| SpanRow {
+            path,
+            calls: st.calls.load(Ordering::Relaxed),
+            total_ns: st.total_ns.load(Ordering::Relaxed),
+            self_ns: st.self_ns.load(Ordering::Relaxed),
+            p99_ns: st.durations.quantile(0.99),
+        })
+        .collect()
+}
+
+/// The flame table: every span path as an indented tree, siblings sorted
+/// by total time (descending), with calls / total / self / p99 columns.
+pub fn flame_table(registry: &Registry) -> String {
+    let rows = span_rows(registry);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>9} {:>11} {:>11} {:>10}",
+        "span", "calls", "total(s)", "self(s)", "p99(ms)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(89));
+    // Tree order: recurse from the roots, children sorted by total desc.
+    fn emit(out: &mut String, rows: &[SpanRow], parent: Option<&str>, depth: usize) {
+        let mut children: Vec<&SpanRow> = rows
+            .iter()
+            .filter(|r| match parent {
+                None => !r.path.contains(';'),
+                Some(p) => r
+                    .path
+                    .strip_prefix(p)
+                    .is_some_and(|rest| rest.starts_with(';') && !rest[1..].contains(';')),
+            })
+            .collect();
+        children.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+        for row in children {
+            let name = row.path.rsplit(';').next().unwrap_or(&row.path);
+            let _ = writeln!(
+                out,
+                "{:<44} {:>9} {:>11.4} {:>11.4} {:>10.3}",
+                format!("{}{}", "  ".repeat(depth), name),
+                row.calls,
+                row.total_ns as f64 / 1e9,
+                row.self_ns as f64 / 1e9,
+                row.p99_ns as f64 / 1e6
+            );
+            emit(out, rows, Some(&row.path), depth + 1);
+        }
+    }
+    emit(&mut out, &rows, None, 0);
+    out
+}
+
+/// Escape a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The whole registry as a JSON document (machine consumption: BENCH_*
+/// trajectories, dashboards). Self-contained — no serde.
+pub fn json(registry: &Registry) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let counters = registry.counters_snapshot();
+    for (i, (name, c)) in counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {}", json_escape(name), c.get());
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    let gauges = registry.gauges_snapshot();
+    for (i, (name, g)) in gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {}", json_escape(name), g.get());
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    let hists = registry.histograms_snapshot();
+    for (i, (name, h)) in hists.iter().enumerate() {
+        let s = h.snapshot();
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            json_escape(name),
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            s.p50,
+            s.p90,
+            s.p99
+        );
+    }
+    out.push_str("\n  },\n  \"spans\": {");
+    let spans = span_rows(registry);
+    for (i, r) in spans.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"calls\": {}, \"total_ns\": {}, \"self_ns\": {}, \"p99_ns\": {}}}",
+            json_escape(&r.path),
+            r.calls,
+            r.total_ns,
+            r.self_ns,
+            r.p99_ns
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("dfs.read.ops").add(3);
+        r.counter("codecs.gzip-lite.compress.bytes_in").add(1000);
+        r.gauge("cache.bytes").set(42);
+        let h = r.histogram("dfs.write.pipeline_ns");
+        for v in [100, 200, 300] {
+            h.record(v);
+        }
+        let s = r.span_stats("spate.ingest");
+        s.calls.fetch_add(2, Ordering::Relaxed);
+        s.total_ns.fetch_add(2_000_000, Ordering::Relaxed);
+        s.self_ns.fetch_add(500_000, Ordering::Relaxed);
+        s.durations.record(1_000_000);
+        let c = r.span_stats("spate.ingest;compress");
+        c.calls.fetch_add(2, Ordering::Relaxed);
+        c.total_ns.fetch_add(1_500_000, Ordering::Relaxed);
+        c.self_ns.fetch_add(1_500_000, Ordering::Relaxed);
+        c.durations.record(750_000);
+        r
+    }
+
+    #[test]
+    fn prometheus_text_sanitizes_names() {
+        let text = prometheus_text(&sample_registry());
+        assert!(text.contains("dfs_read_ops 3"));
+        assert!(text.contains("codecs_gzip_lite_compress_bytes_in 1000"));
+        assert!(text.contains("# TYPE cache_bytes gauge"));
+        assert!(text.contains("dfs_write_pipeline_ns_count 3"));
+        assert!(text.contains("span_seconds_count{path=\"spate.ingest\"} 2"));
+    }
+
+    #[test]
+    fn flame_table_nests_children_under_parents() {
+        let table = flame_table(&sample_registry());
+        let parent_line = table.lines().position(|l| l.starts_with("spate.ingest"));
+        let child_line = table.lines().position(|l| l.starts_with("  compress"));
+        assert!(parent_line.is_some() && child_line.is_some(), "{table}");
+        assert!(child_line > parent_line);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let doc = json(&sample_registry());
+        // Structural sanity without a JSON parser: balanced braces, the
+        // four sections, and no trailing commas before closers.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        for section in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
+            assert!(doc.contains(section), "{doc}");
+        }
+        assert!(!doc.contains(",\n  }"));
+        assert!(doc.contains("\"spate.ingest;compress\""));
+    }
+}

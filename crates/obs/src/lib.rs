@@ -1,0 +1,101 @@
+//! `obs` — workspace-wide observability for the SPATE reproduction.
+//!
+//! Every reported number of the paper (Table I codec timings, Fig. 7/9
+//! ingestion, Fig. 11/12 task response times) flows through hot paths
+//! spread over seven crates. This crate is the shared substrate that
+//! answers "where did the time go": a global, thread-safe **metric
+//! registry** (named counters, gauges and log-bucketed histograms), a
+//! lightweight **span API** (RAII guards forming a parent/child tree per
+//! thread, separating self-time from child time), and **exporters** (a
+//! Prometheus-style text dump, a sorted flame table, and JSON).
+//!
+//! Metric names follow the `crate.component.event` convention, e.g.
+//! `dfs.read.bytes` or `codecs.gzip-lite.compress.bytes_in`. Span *names*
+//! are stage labels (`"compress"`, `"dfs.write"`); span *paths* are the
+//! `;`-joined nesting chain (`"spate.ingest;compress"`).
+//!
+//! # Example
+//!
+//! ```
+//! {
+//!     let _ingest = obs::span("spate.ingest");
+//!     {
+//!         let _c = obs::span("compress");
+//!         obs::add("codecs.gzip-lite.compress.bytes_in", 1024);
+//!     } // compress closes: its time is the child time of spate.ingest
+//! }
+//! let table = obs::export::flame_table(obs::global());
+//! assert!(table.contains("spate.ingest"));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use span::{span, SpanGuard, SpanStats};
+
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every instrumented crate records into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get-or-create a named counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Add `delta` to the named global counter.
+pub fn add(name: &str, delta: u64) {
+    global().counter(name).add(delta);
+}
+
+/// Increment the named global counter by one.
+pub fn inc(name: &str) {
+    add(name, 1);
+}
+
+/// Get-or-create a named gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Set the named global gauge.
+pub fn gauge_set(name: &str, value: i64) {
+    global().gauge(name).set(value);
+}
+
+/// Get-or-create a named histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Record one observation into the named global histogram.
+pub fn observe(name: &str, value: u64) {
+    global().histogram(name).record(value);
+}
+
+/// Clear the global registry (measurement boundary between experiments).
+pub fn reset() {
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn module_level_helpers_hit_the_global_registry() {
+        super::add("test.lib.counter", 7);
+        super::inc("test.lib.counter");
+        assert_eq!(super::counter("test.lib.counter").get(), 8);
+        super::gauge_set("test.lib.gauge", -4);
+        assert_eq!(super::gauge("test.lib.gauge").get(), -4);
+        super::observe("test.lib.hist", 123);
+        assert_eq!(super::histogram("test.lib.hist").count(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! The global metric registry: named counters, gauges, histograms and
+//! span statistics, created on first use.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::span::SpanStats;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of named metrics. One process-global instance
+/// lives behind [`crate::global`]; independent registries can be created
+/// for tests.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    spans: RwLock<BTreeMap<String, Arc<SpanStats>>>,
+}
+
+/// Get-or-create under a read-mostly lock: the fast path is a read lock
+/// and an `Arc` clone; only the first use of a name takes the write lock.
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().get(name) {
+        return Arc::clone(v);
+    }
+    Arc::clone(
+        map.write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    pub fn span_stats(&self, path: &str) -> Arc<SpanStats> {
+        intern(&self.spans, path)
+    }
+
+    /// Sorted point-in-time views, for the exporters.
+    pub fn counters_snapshot(&self) -> Vec<(String, Arc<Counter>)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    pub fn gauges_snapshot(&self) -> Vec<(String, Arc<Gauge>)> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    pub fn histograms_snapshot(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    pub fn spans_snapshot(&self) -> Vec<(String, Arc<SpanStats>)> {
+        self.spans
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Drop every registered metric and span. Existing `Arc` handles keep
+    /// working but are no longer reachable from the registry; spans still
+    /// open re-intern their path when they close.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+        self.spans.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_metric() {
+        let r = Registry::new();
+        r.counter("a.b.c").add(2);
+        r.counter("a.b.c").add(3);
+        assert_eq!(r.counter("a.b.c").get(), 5);
+        assert_eq!(r.counters_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.gauge("y").set(1);
+        r.histogram("z").record(1);
+        r.span_stats("s");
+        r.reset();
+        assert!(r.counters_snapshot().is_empty());
+        assert!(r.gauges_snapshot().is_empty());
+        assert!(r.histograms_snapshot().is_empty());
+        assert!(r.spans_snapshot().is_empty());
+        assert_eq!(r.counter("x").get(), 0);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let r = Registry::new();
+        for n in ["b", "a", "c"] {
+            r.counter(n);
+        }
+        let names: Vec<String> = r.counters_snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

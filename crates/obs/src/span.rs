@@ -1,0 +1,143 @@
+//! RAII tracing spans with thread-local parent/child nesting.
+//!
+//! [`span`] opens a timed region; dropping the returned guard (or calling
+//! [`SpanGuard::finish_secs`]) closes it and records the elapsed time into
+//! the global registry under the span's *path* — the `;`-joined chain of
+//! enclosing span names on this thread, flamegraph folded-stack style. A
+//! child's elapsed time is subtracted from the parent's *self* time, so
+//! the flame table can separate "time spent here" from "time spent in
+//! callees".
+//!
+//! Guards must close in LIFO order on their thread (the natural order of
+//! nested scopes); interleaved lifetimes would swap attribution.
+
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Default)]
+pub struct SpanStats {
+    pub calls: AtomicU64,
+    /// Total wall time inside the span, nanoseconds.
+    pub total_ns: AtomicU64,
+    /// Total minus time attributed to child spans, nanoseconds.
+    pub self_ns: AtomicU64,
+    /// Per-call duration distribution, nanoseconds.
+    pub durations: Histogram,
+}
+
+struct Frame {
+    path: String,
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a span named `name` nested under this thread's innermost open
+/// span. Closes (and records) when the guard drops.
+pub fn span(name: &str) -> SpanGuard {
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{};{}", parent.path, name),
+            None => name.to_string(),
+        };
+        stack.push(Frame { path, child_ns: 0 });
+    });
+    SpanGuard {
+        // Started after the bookkeeping so path construction is not billed
+        // to the measured region.
+        start: Instant::now(),
+        open: true,
+    }
+}
+
+/// Guard of an open span; see [`span`].
+#[must_use = "dropping the guard immediately records a ~0ns span"]
+pub struct SpanGuard {
+    start: Instant,
+    open: bool,
+}
+
+impl SpanGuard {
+    fn close(&mut self) -> f64 {
+        // Clock read first: registry bookkeeping below is not measured.
+        let elapsed = self.start.elapsed();
+        self.open = false;
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let frame = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = stack.pop().expect("span stack underflow");
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += ns;
+            }
+            frame
+        });
+        let stats = crate::global().span_stats(&frame.path);
+        stats.calls.fetch_add(1, Ordering::Relaxed);
+        stats.total_ns.fetch_add(ns, Ordering::Relaxed);
+        stats
+            .self_ns
+            .fetch_add(ns.saturating_sub(frame.child_ns), Ordering::Relaxed);
+        stats.durations.record(ns);
+        elapsed.as_secs_f64()
+    }
+
+    /// Close the span now and return its elapsed seconds, measured by the
+    /// same `Instant` the span opened with — a drop-in replacement for the
+    /// `let t0 = Instant::now(); ... t0.elapsed().as_secs_f64()` pattern.
+    pub fn finish_secs(mut self) -> f64 {
+        self.close()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.open {
+            self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn paths_nest_and_self_time_excludes_children() {
+        {
+            let _outer = span("test.span.outer");
+            std::thread::sleep(Duration::from_millis(10));
+            {
+                let _inner = span("child");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        let outer = crate::global().span_stats("test.span.outer");
+        let inner = crate::global().span_stats("test.span.outer;child");
+        assert_eq!(outer.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 1);
+        let outer_total = outer.total_ns.load(Ordering::Relaxed);
+        let outer_self = outer.self_ns.load(Ordering::Relaxed);
+        let inner_total = inner.total_ns.load(Ordering::Relaxed);
+        assert!(outer_total >= outer_self + inner_total - 1_000);
+        assert!(outer_self < outer_total);
+        assert!(inner_total >= 19_000_000, "{inner_total}");
+    }
+
+    #[test]
+    fn finish_secs_matches_the_recorded_total() {
+        let g = span("test.span.finish");
+        std::thread::sleep(Duration::from_millis(5));
+        let secs = g.finish_secs();
+        assert!(secs >= 0.004, "{secs}");
+        let stats = crate::global().span_stats("test.span.finish");
+        let total = stats.total_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        assert!((total - secs).abs() < 1e-6);
+    }
+}

@@ -65,7 +65,10 @@ impl Hierarchy {
             Hierarchy::Taxonomy { maps } => {
                 let mut cur = value.to_string();
                 for map in maps.iter().take(level as usize) {
-                    cur = map.get(&cur).cloned().unwrap_or_else(|| SUPPRESSED.to_string());
+                    cur = map
+                        .get(&cur)
+                        .cloned()
+                        .unwrap_or_else(|| SUPPRESSED.to_string());
                     if cur == SUPPRESSED {
                         break;
                     }

@@ -139,8 +139,7 @@ impl Anonymizer {
                 continue;
             }
             let mut rec = r.clone();
-            for (((col, _), &lvl), gen) in
-                self.quasi_identifiers.iter().zip(levels).zip(key.iter())
+            for (((col, _), &lvl), gen) in self.quasi_identifiers.iter().zip(levels).zip(key.iter())
             {
                 let _ = lvl;
                 rec.values[*col] = Value::Str(gen.clone());
@@ -150,7 +149,13 @@ impl Anonymizer {
         let loss = levels
             .iter()
             .zip(maxima)
-            .map(|(&l, &m)| if m == 0 { 0.0 } else { f64::from(l) / f64::from(m) })
+            .map(|(&l, &m)| {
+                if m == 0 {
+                    0.0
+                } else {
+                    f64::from(l) / f64::from(m)
+                }
+            })
             .sum::<f64>()
             / levels.len().max(1) as f64;
         AnonymizedTable {
@@ -164,7 +169,13 @@ impl Anonymizer {
 
 /// Visit every level vector with the given total sum (bounded per-QI).
 fn enumerate_levels(maxima: &[u32], total: u32, visit: &mut impl FnMut(&[u32])) {
-    fn rec(maxima: &[u32], idx: usize, remaining: u32, cur: &mut Vec<u32>, visit: &mut impl FnMut(&[u32])) {
+    fn rec(
+        maxima: &[u32],
+        idx: usize,
+        remaining: u32,
+        cur: &mut Vec<u32>,
+        visit: &mut impl FnMut(&[u32]),
+    ) {
         if idx == maxima.len() {
             if remaining == 0 {
                 visit(cur);

@@ -124,10 +124,10 @@ fn quadrants(b: &BoundingBox) -> [BoundingBox; 4] {
     let mx = (b.min_x + b.max_x) / 2.0;
     let my = (b.min_y + b.max_y) / 2.0;
     [
-        BoundingBox::new(b.min_x, my, mx, b.max_y),     // NW
-        BoundingBox::new(mx, my, b.max_x, b.max_y),     // NE
-        BoundingBox::new(b.min_x, b.min_y, mx, my),     // SW
-        BoundingBox::new(mx, b.min_y, b.max_x, my),     // SE
+        BoundingBox::new(b.min_x, my, mx, b.max_y), // NW
+        BoundingBox::new(mx, my, b.max_x, b.max_y), // NE
+        BoundingBox::new(b.min_x, b.min_y, mx, my), // SW
+        BoundingBox::new(mx, b.min_y, b.max_x, my), // SE
     ]
 }
 
@@ -417,10 +417,7 @@ mod tests {
         let tree = QuadTree::build(region(), 2, QuadConfig::default(), points.clone());
         let bbox = BoundingBox::new(100.0, 200.0, 400.0, 650.0);
         let got = tree.query_points(&bbox);
-        let want = points
-            .iter()
-            .filter(|p| bbox.contains(p.x, p.y))
-            .count();
+        let want = points.iter().filter(|p| bbox.contains(p.x, p.y)).count();
         assert_eq!(got.len(), want);
         assert!(got.iter().all(|p| bbox.contains(p.x, p.y)));
     }

@@ -286,7 +286,9 @@ mod tests {
         let idx = build_index(5);
         let s = idx.query_agg(&bounds(), EpochId(100), EpochId(200));
         assert!(s[0].is_empty());
-        assert!(idx.query_points(&bounds(), EpochId(100), EpochId(200)).is_empty());
+        assert!(idx
+            .query_points(&bounds(), EpochId(100), EpochId(200))
+            .is_empty());
     }
 
     #[test]

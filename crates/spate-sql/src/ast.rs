@@ -170,7 +170,13 @@ mod tests {
 
     #[test]
     fn agg_func_names_round_trip() {
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             assert_eq!(AggFunc::from_name(f.name()), Some(f));
             assert_eq!(AggFunc::from_name(&f.name().to_lowercase()), Some(f));
         }

@@ -312,11 +312,7 @@ fn lower_subqueries(
                     "IN subquery must select exactly one column".into(),
                 ));
             }
-            let set: HashSet<String> = result
-                .rows
-                .iter()
-                .map(|r| r[0].as_text())
-                .collect();
+            let set: HashSet<String> = result.rows.iter().map(|r| r[0].as_text()).collect();
             sub_sets.push(set);
             // Sentinel shape recognized by `subquery_set_index`: a tag
             // string that no user literal can produce (embedded NUL), plus
@@ -475,9 +471,7 @@ fn eval_bool(
     sub_sets: &[HashSet<String>],
 ) -> Result<bool, SqlError> {
     Ok(match expr {
-        Expr::And(l, r) => {
-            eval_bool(l, row, ns, sub_sets)? && eval_bool(r, row, ns, sub_sets)?
-        }
+        Expr::And(l, r) => eval_bool(l, row, ns, sub_sets)? && eval_bool(r, row, ns, sub_sets)?,
         Expr::Or(l, r) => eval_bool(l, row, ns, sub_sets)? || eval_bool(r, row, ns, sub_sets)?,
         Expr::Not(e) => !eval_bool(e, row, ns, sub_sets)?,
         Expr::Compare { left, op, right } => {
@@ -710,17 +704,9 @@ fn aggregate(
 /// Evaluate a HAVING predicate over one group. Aggregate calls evaluate
 /// over the group's members; plain columns take the group's first row
 /// (legal only for GROUP BY columns, which are constant per group).
-fn eval_having(
-    expr: &Expr,
-    members: &[&Vec<Value>],
-    ns: &Namespace,
-) -> Result<bool, SqlError> {
+fn eval_having(expr: &Expr, members: &[&Vec<Value>], ns: &Namespace) -> Result<bool, SqlError> {
     // Scalar view of a HAVING operand.
-    fn value(
-        expr: &Expr,
-        members: &[&Vec<Value>],
-        ns: &Namespace,
-    ) -> Result<Value, SqlError> {
+    fn value(expr: &Expr, members: &[&Vec<Value>], ns: &Namespace) -> Result<Value, SqlError> {
         match expr {
             Expr::AggregateCall { func, column } => {
                 eval_aggregate(*func, column.as_ref(), members, ns)
@@ -769,11 +755,7 @@ fn eval_having(
                 && compare_values(&v, &hi) != Ordering::Greater;
             inside != *negated
         }
-        other => {
-            return Err(SqlError::Unsupported(format!(
-                "HAVING clause: {other:?}"
-            )))
-        }
+        other => return Err(SqlError::Unsupported(format!("HAVING clause: {other:?}"))),
     })
 }
 

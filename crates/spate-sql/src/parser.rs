@@ -521,8 +521,7 @@ mod tests {
 
     #[test]
     fn parentheses_and_not() {
-        let stmt =
-            parse("SELECT x FROM CDR WHERE NOT (a = 1 OR b = 2) AND c = 3").unwrap();
+        let stmt = parse("SELECT x FROM CDR WHERE NOT (a = 1 OR b = 2) AND c = 3").unwrap();
         match stmt.predicate.unwrap() {
             Expr::And(l, _) => assert!(matches!(*l, Expr::Not(_))),
             other => panic!("{other:?}"),

@@ -40,7 +40,9 @@ fn t2_range_query() {
     let hi = EpochId(2).civil().compact();
     let rs = query(
         &ctx,
-        &format!("SELECT upflux, downflux FROM CDR WHERE ts_start >= '{lo}' AND ts_start <= '{hi}'"),
+        &format!(
+            "SELECT upflux, downflux FROM CDR WHERE ts_start >= '{lo}' AND ts_start <= '{hi}'"
+        ),
     )
     .unwrap();
     let expected: usize = snaps[1..=2].iter().map(|s| s.cdr.len()).sum();
@@ -88,7 +90,10 @@ fn t4_self_join_detects_movers() {
     // Cross-check count against the task implementation (t4 counts ordered
     // epoch pairs; SQL's self-join counts ordered record pairs, so compare
     // only the "some movers exist" property plus symmetry).
-    assert!(rs.len().is_multiple_of(2), "each mover pairs in both directions");
+    assert!(
+        rs.len().is_multiple_of(2),
+        "each mover pairs in both directions"
+    );
 }
 
 #[test]
@@ -184,7 +189,10 @@ fn error_paths() {
     ));
     // cell_id exists in both CDR and NMS: unqualified reference is ambiguous.
     assert!(matches!(
-        query(&ctx, "SELECT cell_id FROM CDR a, NMS b WHERE a.cell_id = b.cell_id"),
+        query(
+            &ctx,
+            "SELECT cell_id FROM CDR a, NMS b WHERE a.cell_id = b.cell_id"
+        ),
         Err(SqlError::AmbiguousColumn(_))
     ));
     // Plain column not in GROUP BY.
@@ -280,8 +288,7 @@ fn between_and_like_predicates() {
     for row in &voice.rows {
         assert_eq!(row[0].as_text(), "VOICE");
     }
-    let with_underscore =
-        query(&ctx, "SELECT tech FROM CELL WHERE tech LIKE '_G'").unwrap();
+    let with_underscore = query(&ctx, "SELECT tech FROM CELL WHERE tech LIKE '_G'").unwrap();
     for row in &with_underscore.rows {
         let t = row[0].as_text();
         assert!(t == "2G" || t == "3G", "{t}");

@@ -171,7 +171,9 @@ impl TraceGenerator {
         let callee = self.sample_user(rng);
         // Mobility: ~10% of observed users moved since their last record.
         if rng.gen_bool(0.10) {
-            let next = self.layout.neighbor(self.users[caller as usize].current_cell, rng);
+            let next = self
+                .layout
+                .neighbor(self.users[caller as usize].current_cell, rng);
             self.users[caller as usize].current_cell = next;
         }
         let cell_id = self.users[caller as usize].current_cell;
@@ -400,7 +402,9 @@ mod tests {
 
     #[test]
     fn record_ids_are_unique_and_increasing() {
-        let snaps = TraceGenerator::new(TraceConfig::tiny()).take(4).collect::<Vec<_>>();
+        let snaps = TraceGenerator::new(TraceConfig::tiny())
+            .take(4)
+            .collect::<Vec<_>>();
         let mut last = 0i64;
         for s in &snaps {
             for r in &s.cdr {
@@ -414,7 +418,9 @@ mod tests {
     #[test]
     fn nms_volume_dominates_cdr_volume() {
         // The paper: NMS is ~12x CDR by record count (21M vs 1.7M).
-        let snaps = TraceGenerator::new(TraceConfig::tiny()).take(8).collect::<Vec<_>>();
+        let snaps = TraceGenerator::new(TraceConfig::tiny())
+            .take(8)
+            .collect::<Vec<_>>();
         let cdr_total: usize = snaps.iter().map(|s| s.cdr.len()).sum();
         let nms_total: usize = snaps.iter().map(|s| s.nms.len()).sum();
         let ratio = nms_total as f64 / cdr_total as f64;

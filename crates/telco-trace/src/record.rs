@@ -121,7 +121,7 @@ mod tests {
         assert_eq!(Value::Null.as_text(), "");
         assert_eq!(Value::Str("LTE".into()).as_text(), "LTE");
         assert_eq!(Value::Int(-5).as_text(), "-5");
-        assert_eq!(Value::Float(3.14159).as_text(), "3.14");
+        assert_eq!(Value::Float(2.34567).as_text(), "2.35");
     }
 
     #[test]

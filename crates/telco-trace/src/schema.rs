@@ -295,7 +295,10 @@ mod tests {
     fn nms_and_cell_widths() {
         assert_eq!(Schema::nms().width(), 8);
         assert_eq!(Schema::cell().width(), 10);
-        assert_eq!(Schema::nms().column_index("call_drops"), Some(nms::CALL_DROPS));
+        assert_eq!(
+            Schema::nms().column_index("call_drops"),
+            Some(nms::CALL_DROPS)
+        );
         assert_eq!(Schema::cell().column_index("x_m"), Some(cell::X_M));
     }
 
@@ -315,7 +318,12 @@ mod tests {
             names.sort_unstable();
             let before = names.len();
             names.dedup();
-            assert_eq!(names.len(), before, "{:?} has duplicate columns", schema.kind);
+            assert_eq!(
+                names.len(),
+                before,
+                "{:?} has duplicate columns",
+                schema.kind
+            );
         }
     }
 }

@@ -98,8 +98,8 @@ impl Snapshot {
             .ok_or_else(|| SnapshotParseError::BadHeader(header.to_string()))?;
 
         let read_table = |name: &'static str,
-                              width: usize,
-                              lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
+                          width: usize,
+                          lines: &mut std::iter::Enumerate<std::str::Lines<'_>>|
          -> Result<Vec<Record>, SnapshotParseError> {
             let (_, th) = lines
                 .next()
@@ -178,7 +178,10 @@ mod tests {
     fn header_contains_compact_timestamp() {
         let bytes = tiny_snapshot().to_bytes();
         let text = String::from_utf8(bytes).unwrap();
-        assert!(text.starts_with("#SNAPSHOT epoch=31 ts=201601181530\n"), "{text}");
+        assert!(
+            text.starts_with("#SNAPSHOT epoch=31 ts=201601181530\n"),
+            "{text}"
+        );
     }
 
     #[test]

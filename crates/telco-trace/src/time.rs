@@ -290,7 +290,10 @@ mod tests {
 
         // 366 days later lands on Jan 18, 2017.
         let next_year = EpochId(366 * EPOCHS_PER_DAY).civil();
-        assert_eq!((next_year.year, next_year.month, next_year.day), (2017, 1, 18));
+        assert_eq!(
+            (next_year.year, next_year.month, next_year.day),
+            (2017, 1, 18)
+        );
     }
 
     #[test]
@@ -301,7 +304,10 @@ mod tests {
         assert_eq!(CivilTime::parse_compact("201601181530"), Some(c));
         // Prefix parsing fills minima.
         let y = CivilTime::parse_compact("2016").unwrap();
-        assert_eq!((y.year, y.month, y.day, y.hour, y.minute), (2016, 1, 1, 0, 0));
+        assert_eq!(
+            (y.year, y.month, y.day, y.hour, y.minute),
+            (2016, 1, 1, 0, 0)
+        );
         assert!(CivilTime::parse_compact("20x6").is_none());
         assert!(CivilTime::parse_compact("").is_none());
     }

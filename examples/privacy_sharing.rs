@@ -24,7 +24,10 @@ fn main() {
         .iter()
         .map(|s| s.cdr.len())
         .sum::<usize>();
-    println!("Sharing window {}..{} — {originals} CDR records", window.0 .0, window.1 .0);
+    println!(
+        "Sharing window {}..{} — {originals} CDR records",
+        window.0 .0, window.1 .0
+    );
     println!("\nQuasi-identifiers: caller MSISDN, call duration, cell id\n");
     println!("  k | suppressed | QI generalization levels | info loss | verified");
     println!("----+------------+--------------------------+-----------+---------");

@@ -63,12 +63,7 @@ fn main() {
     let q = Query::new(&["upflux", "downflux"], core_box).with_epoch_range(12, 15);
     match spate.query(&q) {
         QueryResult::Exact(result) => {
-            let total_up: i64 = result
-                .cdr
-                .rows
-                .iter()
-                .filter_map(|r| r[0].as_i64())
-                .sum();
+            let total_up: i64 = result.cdr.rows.iter().filter_map(|r| r[0].as_i64()).sum();
             println!(
                 "exact answer: {} CDR rows from {} epochs, total upflux {} B",
                 result.cdr.rows.len(),

@@ -39,7 +39,10 @@ fn main() {
         grid[gy][gx].0 += summary.drops.sum;
         grid[gy][gx].1 += summary.attempts.sum;
     }
-    println!("\nDrop-call rate heatmap ({}x{} grid over ~6000 km²):", GRID, GRID);
+    println!(
+        "\nDrop-call rate heatmap ({}x{} grid over ~6000 km²):",
+        GRID, GRID
+    );
     println!("  legend: '.' no traffic, 0-9 = drop rate in 0.5% steps\n");
     for row in grid.iter().rev() {
         let mut line = String::from("  ");
@@ -59,7 +62,11 @@ fn main() {
     // (ii) The day's highlight events: rare values under θ_day.
     let config = spate.index().config().clone();
     let events = day.highlights.events(&config, Resolution::Day);
-    println!("\nHighlights of {} (θ_day = {}):", EpochId(0).civil().compact(), config.theta_day);
+    println!(
+        "\nHighlights of {} (θ_day = {}):",
+        EpochId(0).civil().compact(),
+        config.theta_day
+    );
     if events.is_empty() {
         println!("  (no attribute value fell under the θ threshold)");
     }

@@ -2,9 +2,7 @@
 //! compress → store → index → query/decay → tasks/SQL — exercised through
 //! the public API of the umbrella crate.
 
-use spate::core::framework::{
-    ExplorationFramework, RawFramework, ShahedFramework, SpateFramework,
-};
+use spate::core::framework::{ExplorationFramework, RawFramework, ShahedFramework, SpateFramework};
 use spate::core::query::{Query, QueryResult};
 use spate::core::{tasks, DecayPolicy};
 use spate::sql::SqlContext;
@@ -37,7 +35,10 @@ fn all_three_frameworks_agree_on_every_task() {
     let (w0, w1) = (EpochId(12), EpochId(19));
 
     // T1/T2 rows identical across frameworks.
-    let t1: Vec<_> = fws.iter().map(|f| tasks::t1_equality(*f, EpochId(15)).0).collect();
+    let t1: Vec<_> = fws
+        .iter()
+        .map(|f| tasks::t1_equality(*f, EpochId(15)).0)
+        .collect();
     assert_eq!(t1[0], t1[1]);
     assert_eq!(t1[0], t1[2]);
     let t2: Vec<_> = fws.iter().map(|f| tasks::t2_range(*f, w0, w1).0).collect();
@@ -46,7 +47,10 @@ fn all_three_frameworks_agree_on_every_task() {
     assert!(!t2[0].is_empty());
 
     // T3 aggregates identical.
-    let t3: Vec<_> = fws.iter().map(|f| tasks::t3_aggregate(*f, w0, w1).0).collect();
+    let t3: Vec<_> = fws
+        .iter()
+        .map(|f| tasks::t3_aggregate(*f, w0, w1).0)
+        .collect();
     assert_eq!(t3[0].drops_per_cell, t3[1].drops_per_cell);
     assert_eq!(t3[0].drops_per_cell, t3[2].drops_per_cell);
 
@@ -106,8 +110,8 @@ fn decay_then_query_then_sql_pipeline() {
     }
 
     // Day 0 decayed to a summary; the summary still carries the counters.
-    let q = Query::new(&["upflux"], BoundingBox::everything())
-        .with_epoch_range(0, EPOCHS_PER_DAY - 1);
+    let q =
+        Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, EPOCHS_PER_DAY - 1);
     let QueryResult::Summary { highlights, .. } = spate.query(&q) else {
         panic!("expected summary for decayed day");
     };
