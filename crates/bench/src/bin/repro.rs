@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale 1/N] [--days D] [--unthrottled]
-//!       [--profile] [--metrics-json PATH]
+//!       [--seed N] [--profile] [--metrics-json PATH]
 //!
 //! EXPERIMENT: table1 | fig4 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
-//!             | decay | space-summary | all (default)
+//!             | decay | chaos | space-summary | all (default)
+//!
+//! --seed N             fault-plan seed for the chaos experiment (default 7);
+//!                      two runs with the same seed print identical `chaos:`
+//!                      lines
 //!
 //! --profile            print the span flame table (per-stage wall time)
 //!                      after the experiment finishes
@@ -27,6 +31,7 @@ fn main() {
     let mut config = BenchConfig::default();
     let mut profile = false;
     let mut metrics_json: Option<String> = None;
+    let mut seed = 7u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,6 +54,10 @@ fn main() {
                 config.days = args[i].parse().expect("bad --days");
             }
             "--unthrottled" => config.throttled = false,
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("bad --seed");
+            }
             other if !other.starts_with("--") => experiment = other.to_string(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -76,6 +85,7 @@ fn main() {
         "fig7" | "fig8" | "fig9" | "fig10" => ingest_figs(&config),
         "fig11" | "fig12" => response_figs(&config),
         "decay" => decay_run(&config),
+        "chaos" => chaos_run(&config, seed),
         "space-summary" => space_summary(&config),
         "all" => {
             fig4(&config);
@@ -236,6 +246,60 @@ fn decay_run(config: &BenchConfig) {
         r.stored_bytes as f64 / 1e6
     );
     println!("(paper Fig. 5: full resolution decays first, then day/month highlights)");
+}
+
+fn chaos_run(config: &BenchConfig, seed: u64) {
+    println!("\n## Chaos — seeded faults, repair, and degraded-coverage queries\n");
+    let r = experiments::chaos_experiment(config, seed);
+    // Every `chaos:` line is a pure function of (seed, scale, days) — CI
+    // runs the experiment twice and diffs them to enforce determinism.
+    println!(
+        "chaos: seed={} epochs={} ingest_retries={} ingest_failures={}",
+        r.seed, r.epochs_ingested, r.ingest_retries, r.ingest_failures
+    );
+    let f = &r.faults;
+    println!(
+        "chaos: injected transient_reads={} transient_writes={} corrupt_replicas={} slow_reads={} crashes={} revivals={}",
+        f.transient_reads_injected,
+        f.transient_writes_injected,
+        f.corrupt_replicas_injected,
+        f.slow_reads_injected,
+        f.crashes_injected,
+        f.revivals
+    );
+    println!(
+        "chaos: recovered checksum_mismatches={} read_failovers={} retry_attempts={} retry_successes={} retries_exhausted={}",
+        f.checksum_mismatches, f.read_failovers, f.retry_attempts, f.retry_successes, f.retries_exhausted
+    );
+    let rep = &r.repair;
+    println!(
+        "chaos: repair passes={} blocks_scanned={} under_replicated={} replicas_added={} corrupt_dropped={} unrecoverable={}",
+        f.repair_passes,
+        rep.blocks_scanned,
+        rep.under_replicated,
+        rep.replicas_added,
+        rep.corrupt_replicas_dropped,
+        rep.unrecoverable
+    );
+    println!(
+        "chaos: queries run={} exact={} partial={} unavailable={} inconsistent_coverage={}",
+        r.queries_run,
+        r.exact_results,
+        r.partial_results,
+        r.unavailable_results,
+        r.inconsistent_coverage
+    );
+    println!(
+        "chaos: blackout unavailable_epochs={} degraded_cleanly={}",
+        r.blackout_unavailable, r.blackout_degraded_cleanly
+    );
+    println!(
+        "chaos: final coverage={} present_leaves={} data_loss={}",
+        r.final_coverage, r.present_leaves, r.data_loss_epochs
+    );
+    println!(
+        "(acceptance: data_loss=0, repair healed every injected fault, same seed → identical lines)"
+    );
 }
 
 fn response_figs(config: &BenchConfig) {

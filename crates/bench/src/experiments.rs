@@ -2,10 +2,13 @@
 
 use crate::setup::{build_frameworks, ingest_all, BenchConfig, Frameworks};
 use codecs::table1_codecs as codec_list;
+use dfs::{Dfs, DfsConfig, FaultConfig, FaultStatsSnapshot, IoModel, RepairReport};
 use spate_core::framework::{ExplorationFramework, SpateFramework};
 use spate_core::index::decay::DecayPolicy;
+use spate_core::query::{Coverage, Query, QueryResult};
 use spate_core::tasks;
 use std::time::Instant;
+use telco_trace::cells::BoundingBox;
 use telco_trace::entropy::EntropyProfile;
 use telco_trace::schema::{cdr, cell, nms};
 use telco_trace::time::{DayPeriod, EpochId, Weekday, EPOCHS_PER_DAY};
@@ -263,6 +266,206 @@ pub fn decay_experiment(config: &BenchConfig) -> DecayRunReport {
     }
 }
 
+// ------------------------------------------------------------- Chaos run
+
+/// Outcome of the seeded chaos experiment. Every field is a pure function
+/// of the seed and the [`BenchConfig`] — two runs with the same inputs
+/// must produce equal reports (the determinism acceptance gate), so
+/// nothing time-derived lives here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosReport {
+    pub seed: u64,
+    pub epochs_ingested: usize,
+    /// Application-level ingest re-submissions after a storage error
+    /// (write retries exhausted inside the DFS, a crashed datanode, …).
+    /// Crash-consistent ingest guarantees a failed attempt leaves nothing
+    /// behind, so re-submitting is always safe.
+    pub ingest_retries: u64,
+    /// Epochs that never ingested even after re-submission — must be 0.
+    pub ingest_failures: u64,
+    /// Exploration queries issued while faults were active.
+    pub queries_run: usize,
+    pub exact_results: usize,
+    pub partial_results: usize,
+    pub unavailable_results: usize,
+    /// Partial results whose coverage report did not add up (served +
+    /// decayed + unavailable ≠ requested, or served ≠ epochs actually
+    /// read) — must be 0.
+    pub inconsistent_coverage: usize,
+    /// Epochs unreadable while two of four datanodes were down.
+    pub blackout_unavailable: u32,
+    /// The blackout query degraded to a partial (or unavailable) result
+    /// whose coverage was arithmetically consistent.
+    pub blackout_degraded_cleanly: bool,
+    /// All repair passes merged (one per simulated day + final).
+    pub repair: RepairReport,
+    pub faults: FaultStatsSnapshot,
+    /// Whole-trace coverage after the blackout ends and repair completes.
+    pub final_coverage: Coverage,
+    /// `final_coverage.unavailable` — the zero-data-loss gate.
+    pub data_loss_epochs: u32,
+    pub present_leaves: usize,
+}
+
+/// Check a query result's coverage arithmetic against the leaf count of
+/// its window. Returns false only for genuinely inconsistent reports.
+fn coverage_is_consistent(result: &QueryResult, requested: u32) -> bool {
+    match result.coverage() {
+        Some(c) => c.requested == requested && c.served + c.decayed + c.unavailable == c.requested,
+        // Summary / Unavailable results carry no epoch coverage.
+        None => true,
+    }
+}
+
+/// The `repro chaos` experiment: ingest a scaled week through a DFS with a
+/// seeded [`FaultConfig::chaos`] plan — transient read/write faults,
+/// silent replica corruption, stragglers and a rolling datanode
+/// crash/restart cycle — while running T1–T4 and a data-exploration query
+/// every simulated day, repairing daily, then staging a two-node blackout
+/// drill and verifying zero data loss once the cluster heals.
+pub fn chaos_experiment(config: &BenchConfig, seed: u64) -> ChaosReport {
+    let mut generator = config.generator();
+    let layout = generator.layout().clone();
+
+    // Small blocks so leaf files span several blocks and the per-block
+    // fault machinery (CRC verify, failover, repair) sees real traffic.
+    // Replication 2 over 4 nodes keeps blocks findable with one node down
+    // (the crash cycle's regime) but vulnerable during the 2-node drill.
+    let dfs_config = DfsConfig {
+        block_size: 4 * 1024,
+        replication: 2,
+        n_datanodes: 4,
+        io: IoModel::unthrottled(),
+        cache_bytes: 0,
+        ..DfsConfig::default()
+    };
+    let dfs = Dfs::with_faults(dfs_config, FaultConfig::chaos(seed));
+    // Decay the two oldest days of a week so the coverage report's
+    // `decayed` bucket is exercised alongside `unavailable`.
+    let policy = DecayPolicy {
+        full_resolution_days: 5,
+        day_highlight_days: 30,
+        month_highlight_days: 365,
+        year_highlight_days: 1000,
+    };
+    let mut spate = SpateFramework::new(dfs, layout).with_decay(policy);
+
+    let mut epochs_ingested = 0usize;
+    let mut ingest_retries = 0u64;
+    let mut ingest_failures = 0u64;
+    let mut queries_run = 0usize;
+    let mut exact_results = 0usize;
+    let mut partial_results = 0usize;
+    let mut unavailable_results = 0usize;
+    let mut inconsistent_coverage = 0usize;
+    let mut repair = RepairReport::default();
+
+    while let Some(snapshot) = generator.next_snapshot() {
+        let mut attempts = 0u32;
+        loop {
+            match spate.try_ingest(&snapshot) {
+                Ok(_) => {
+                    epochs_ingested += 1;
+                    break;
+                }
+                Err(_) if attempts < 50 => {
+                    attempts += 1;
+                    ingest_retries += 1;
+                }
+                Err(_) => {
+                    ingest_failures += 1;
+                    break;
+                }
+            }
+        }
+
+        // End of each simulated day: a repair pass, the first four paper
+        // tasks over the finished day, and one coverage-checked query.
+        if snapshot.epoch.epoch_in_day() == EPOCHS_PER_DAY - 1 {
+            repair.merge(&spate.store().dfs().repair());
+
+            let day_start = EpochId(snapshot.epoch.day_index() * EPOCHS_PER_DAY);
+            let day_end = snapshot.epoch;
+            let fw: &dyn ExplorationFramework = &spate;
+            let _ = tasks::t1_equality(fw, EpochId(day_start.0 + EPOCHS_PER_DAY / 2));
+            let _ = tasks::t2_range(fw, day_start, day_end);
+            let _ = tasks::t3_aggregate(fw, day_start, day_end);
+            let _ = tasks::t4_join(fw, EpochId(day_end.0 - 3), day_end);
+
+            let q = Query::new(&["upflux", "downflux"], BoundingBox::everything())
+                .with_epoch_range(day_start.0, day_end.0);
+            let result = spate.query(&q);
+            queries_run += 1;
+            match &result {
+                QueryResult::Exact(_) | QueryResult::Summary { .. } => exact_results += 1,
+                QueryResult::Partial { .. } => partial_results += 1,
+                QueryResult::Unavailable => unavailable_results += 1,
+            }
+            if !coverage_is_consistent(&result, EPOCHS_PER_DAY) {
+                inconsistent_coverage += 1;
+            }
+        }
+    }
+
+    let last_epoch = config.days * EPOCHS_PER_DAY - 1;
+    let dfs = spate.store().dfs().clone();
+
+    // Blackout drill: take down half the cluster. With replication 2 over
+    // 4 nodes some blocks lose every live replica, so recent (full
+    // resolution) epochs become unreadable and queries must degrade to
+    // partial results instead of erroring.
+    dfs.kill_datanode(0);
+    dfs.kill_datanode(1);
+    let drill_day = config.days - 2; // well inside the full-resolution window
+    let drill_start = EpochId(drill_day * EPOCHS_PER_DAY);
+    let drill_end = EpochId(drill_day * EPOCHS_PER_DAY + EPOCHS_PER_DAY - 1);
+    let probe = spate.probe_coverage(drill_start, drill_end);
+    let blackout_unavailable = probe.unavailable;
+    let q = Query::new(&["upflux"], BoundingBox::everything())
+        .with_epoch_range(drill_start.0, drill_end.0);
+    let drill_result = spate.query(&q);
+    let blackout_degraded_cleanly = match &drill_result {
+        // Losing half the cluster should surface as degradation, not a
+        // clean exact answer — unless this seed's replica placement left
+        // the whole drill day on the surviving nodes.
+        QueryResult::Partial { .. } | QueryResult::Unavailable => {
+            coverage_is_consistent(&drill_result, EPOCHS_PER_DAY)
+        }
+        QueryResult::Exact(_) | QueryResult::Summary { .. } => probe.unavailable == 0,
+    };
+
+    // Heal: bring the nodes back (a crash is a restart — the disks
+    // survive), then repair until replication is restored.
+    for id in 0..4 {
+        dfs.revive_datanode(id);
+    }
+    repair.merge(&dfs.repair());
+    repair.merge(&dfs.repair());
+
+    // Zero-data-loss verification: every epoch of the whole trace must be
+    // served or decayed — nothing unavailable after the cluster healed.
+    let final_coverage = spate.probe_coverage(EpochId(0), EpochId(last_epoch));
+
+    ChaosReport {
+        seed,
+        epochs_ingested,
+        ingest_retries,
+        ingest_failures,
+        queries_run,
+        exact_results,
+        partial_results,
+        unavailable_results,
+        inconsistent_coverage,
+        blackout_unavailable,
+        blackout_degraded_cleanly,
+        repair,
+        faults: spate.store().dfs().fault_stats(),
+        final_coverage,
+        data_loss_epochs: final_coverage.unavailable,
+        present_leaves: spate.index().present_leaves(),
+    }
+}
+
 // ----------------------------------------------------------- Figs. 11-12
 
 /// Response time of every task on every framework.
@@ -446,6 +649,49 @@ mod tests {
         assert_eq!(r.dfs_deletes, r.leaves_evicted as u64);
         assert_eq!(r.dfs_bytes_deleted, r.bytes_freed);
         assert!(r.present_leaves > 0, "the newest day survives");
+    }
+
+    fn chaos_config() -> BenchConfig {
+        BenchConfig {
+            scale: 1.0 / 2048.0,
+            days: 7,
+            throttled: false,
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_reproducible_and_lossless() {
+        let config = chaos_config();
+        let first = chaos_experiment(&config, 7);
+        // The zero-data-loss gate: after the blackout ends and repair
+        // completes, every epoch is served or decayed.
+        assert_eq!(first.data_loss_epochs, 0, "{first:?}");
+        assert_eq!(first.ingest_failures, 0, "{first:?}");
+        assert_eq!(first.repair.unrecoverable, 0, "{first:?}");
+        assert_eq!(first.inconsistent_coverage, 0, "{first:?}");
+        assert!(first.blackout_degraded_cleanly, "{first:?}");
+        // The fault plan actually did damage, and repair actually healed.
+        assert!(first.faults.corrupt_replicas_injected > 0, "{first:?}");
+        assert!(first.faults.transient_reads_injected > 0, "{first:?}");
+        assert!(first.faults.crashes_injected > 0, "{first:?}");
+        assert!(
+            first.repair.replicas_added > 0 || first.repair.corrupt_replicas_dropped > 0,
+            "{first:?}"
+        );
+        // Decay ran, so the coverage report exercises all three buckets.
+        assert!(first.final_coverage.decayed > 0, "{first:?}");
+        assert_eq!(
+            first.final_coverage.served + first.final_coverage.decayed,
+            first.final_coverage.requested,
+            "{first:?}"
+        );
+
+        // Determinism: the same seed reproduces every counter; a different
+        // seed draws a different fault schedule.
+        let again = chaos_experiment(&config, 7);
+        assert_eq!(first, again);
+        let other = chaos_experiment(&config, 8);
+        assert_ne!(first.faults, other.faults);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod experiments;
 pub mod setup;
 
 pub use experiments::{
-    fig4_entropy, ingest_experiment, response_experiment, table1_codecs, CodecRow, EntropyReport,
-    IngestReport, ResponseReport,
+    chaos_experiment, fig4_entropy, ingest_experiment, response_experiment, table1_codecs,
+    ChaosReport, CodecRow, EntropyReport, IngestReport, ResponseReport,
 };
 pub use setup::{build_frameworks, BenchConfig, Frameworks};

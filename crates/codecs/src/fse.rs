@@ -209,7 +209,7 @@ impl FseDecoder {
         }
         let mut r = BitReader::new(bits);
         let mut state = initial_state as usize;
-        let mut out = Vec::with_capacity(count);
+        let mut out = Vec::with_capacity(crate::bounded_capacity(count));
         for _ in 0..count {
             let e = self.table[state];
             out.push(e.symbol);

@@ -121,6 +121,12 @@ fn decode_block(
     *pos += bit_bytes;
 
     for _ in 0..n_tokens {
+        // Past the end of the bit buffer the reader yields zero bits, which
+        // a zero-valued Huffman code would happily decode forever; a token
+        // count larger than the bits can support is a truncated stream.
+        if r.is_overrun() {
+            return Err(CodecError::Truncated);
+        }
         let sym = litlen_dec.decode(&mut r)? as usize;
         if sym < LEN_SLOT_BASE {
             out.push(sym as u8);
@@ -183,7 +189,7 @@ impl Codec for GzipLite {
         let stored_crc = u32::from_le_bytes(input[pos..pos + 4].try_into().unwrap());
         pos += 4;
         let n_blocks = varint::read_u32(input, &mut pos)? as usize;
-        let mut out = Vec::with_capacity(declared_len);
+        let mut out = Vec::with_capacity(crate::bounded_capacity(declared_len));
         for _ in 0..n_blocks {
             decode_block(input, &mut pos, &mut out, declared_len)?;
         }

@@ -84,6 +84,23 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Largest buffer a decoder pre-allocates from an untrusted declared length.
+///
+/// Container headers carry the decompressed size as a varint, so a corrupt
+/// or hostile stream can declare a multi-gigabyte payload in a handful of
+/// bytes. Decoders honour the declared length — output still grows on demand
+/// past this cap — but they never *reserve* more than this up front, so a
+/// forged header cannot commit memory before any decoding work has
+/// validated the stream.
+pub(crate) const MAX_PREALLOC: usize = 16 << 20;
+
+/// Clamp an untrusted declared length to [`MAX_PREALLOC`] for use with
+/// `Vec::with_capacity`.
+#[inline]
+pub(crate) fn bounded_capacity(declared: usize) -> usize {
+    declared.min(MAX_PREALLOC)
+}
+
 /// A lossless, self-contained compression codec.
 ///
 /// Implementations are stateless (any per-call state lives on the stack), so

@@ -114,13 +114,17 @@ impl RangeEncoder {
 }
 
 /// Range decoder over a byte slice. Reads past the end yield zero bytes
-/// (the encoder's flush guarantees well-formed streams never need them).
+/// (the encoder's flush guarantees well-formed streams never need them);
+/// [`RangeDecoder::is_overrun`] reports whether any such read happened, so
+/// callers decoding untrusted token counts can stop instead of synthesizing
+/// output from the implicit zero padding forever.
 #[derive(Debug)]
 pub struct RangeDecoder<'a> {
     input: &'a [u8],
     pos: usize,
     code: u32,
     range: u32,
+    overrun: bool,
 }
 
 impl<'a> RangeDecoder<'a> {
@@ -130,6 +134,7 @@ impl<'a> RangeDecoder<'a> {
             pos: 1, // skip the encoder's initial zero cache byte
             code: 0,
             range: u32::MAX,
+            overrun: false,
         };
         for _ in 0..4 {
             d.code = (d.code << 8) | u32::from(d.next_byte());
@@ -139,9 +144,20 @@ impl<'a> RangeDecoder<'a> {
 
     #[inline]
     fn next_byte(&mut self) -> u8 {
+        if self.pos >= self.input.len() {
+            self.overrun = true;
+        }
         let b = self.input.get(self.pos).copied().unwrap_or(0);
         self.pos += 1;
         b
+    }
+
+    /// True once any read has gone past the end of the input. Well-formed
+    /// streams never overrun: the decoder's byte consumption mirrors the
+    /// encoder's normalization schedule, and the encoder flushes five
+    /// trailing bytes to cover the decoder's initial lookahead.
+    pub fn is_overrun(&self) -> bool {
+        self.overrun
     }
 
     /// Decode one bit under an adaptive model.

@@ -117,12 +117,24 @@ impl Codec for SevenzLite {
         let stored_crc = u32::from_le_bytes(input[pos..pos + 4].try_into().unwrap());
         pos += 4;
         let n_tokens = varint::read_u64(input, &mut pos)? as usize;
+        // Every token emits at least one output byte, so more tokens than
+        // declared bytes is structurally impossible.
+        if n_tokens > declared_len {
+            return Err(CodecError::Corrupt("token count exceeds declared length"));
+        }
 
         let mut models = Models::new();
         let mut dec = RangeDecoder::new(&input[pos..]);
-        let mut out = Vec::with_capacity(declared_len);
+        let mut out = Vec::with_capacity(crate::bounded_capacity(declared_len));
         let mut prev_byte = 0u8;
         for _ in 0..n_tokens {
+            // The range decoder yields zero bytes past the end of input; a
+            // well-formed stream never needs them (the encoder's 5-byte
+            // flush covers the decoder's lookahead), so an overrun means the
+            // stream was truncated and the remaining tokens are fiction.
+            if dec.is_overrun() {
+                return Err(CodecError::Truncated);
+            }
             if dec.decode_bit(&mut models.is_match) == 0 {
                 let ctx = Models::lit_ctx(prev_byte);
                 let b = models.literal[ctx].decode(&mut dec) as u8;

@@ -104,7 +104,7 @@ impl Codec for SnappyLite {
         let stored_crc = u32::from_le_bytes(input[pos..pos + 4].try_into().unwrap());
         pos += 4;
 
-        let mut out = Vec::with_capacity(declared_len);
+        let mut out = Vec::with_capacity(crate::bounded_capacity(declared_len));
         while out.len() < declared_len {
             let tag = *input.get(pos).ok_or(CodecError::Truncated)?;
             pos += 1;

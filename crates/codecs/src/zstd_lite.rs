@@ -278,7 +278,7 @@ impl Codec for ZstdLite {
         }
         let mut extras = BitReader::new(&input[pos..pos + extras_len]);
 
-        let mut buf = Vec::with_capacity(dict_bytes.len() + declared_len);
+        let mut buf = Vec::with_capacity(crate::bounded_capacity(dict_bytes.len() + declared_len));
         buf.extend_from_slice(dict_bytes);
         let mut lit_pos = 0usize;
         let take_literals =

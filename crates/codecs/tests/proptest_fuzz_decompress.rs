@@ -1,0 +1,204 @@
+//! Adversarial decompression fuzzing: for every codec, `decompress` on
+//! hostile input must return `Err` (or, for flips that land in padding,
+//! the exact original bytes) — it must never panic and never allocate or
+//! loop unboundedly from a forged header.
+//!
+//! Complements `proptest_roundtrip.rs`, which checks the happy path; this
+//! suite drives garbage, prefix-stitched, truncated and bit-flipped
+//! containers through every `table1` codec, plus handcrafted forged-header
+//! streams that previously triggered multi-gigabyte preallocations or
+//! effectively unbounded token loops (range coder and bit reader both yield
+//! zeros past the end of input).
+
+use codecs::{table1_codecs, Codec};
+use proptest::prelude::*;
+
+/// The four container magics, so random bodies can be stitched behind a
+/// valid magic and reach the header/token parsers instead of bouncing off
+/// the magic check.
+const MAGICS: [&[u8; 4]; 4] = [b"SPZ1", b"SP7Z", b"SPSN", b"SPZS"];
+
+fn assert_rejects_cleanly(codec: &dyn Codec, input: &[u8]) {
+    // Any Ok here would mean the codec invented a payload whose CRC-32
+    // matches a random 32-bit header field — astronomically unlikely, and
+    // worth failing loudly on because it signals the checksum is not
+    // actually being checked.
+    if let Ok(out) = codec.decompress(input) {
+        panic!(
+            "{} accepted {} hostile bytes as a {}-byte payload",
+            codec.name(),
+            input.len(),
+            out.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_garbage_is_rejected(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        for codec in table1_codecs() {
+            assert_rejects_cleanly(codec.as_ref(), &data);
+        }
+    }
+
+    #[test]
+    fn garbage_behind_a_valid_magic_is_rejected(
+        body in proptest::collection::vec(any::<u8>(), 0..1024),
+        magic_idx in 0usize..4,
+    ) {
+        let mut input = MAGICS[magic_idx].to_vec();
+        input.extend_from_slice(&body);
+        for codec in table1_codecs() {
+            assert_rejects_cleanly(codec.as_ref(), &input);
+        }
+    }
+
+    #[test]
+    fn truncated_valid_streams_error_or_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        for codec in table1_codecs() {
+            let packed = codec.compress(&data);
+            // Drop at least one byte. Cutting only the encoder's flush
+            // padding can leave the payload fully decodable (7z-lite's
+            // range decoder never reads its last flush bytes), so Ok is
+            // tolerated iff the payload is byte-exact; anything else must
+            // be an error, never a panic.
+            let keep = (((packed.len() as f64) * cut_frac) as usize).min(packed.len() - 1);
+            if let Ok(out) = codec.decompress(&packed[..keep]) {
+                prop_assert_eq!(&out, &data, "{}: silent corruption after truncation", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flipped_streams_error_or_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 16..512),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        for codec in table1_codecs() {
+            let mut packed = codec.compress(&data);
+            let pos = ((packed.len() as f64) * pos_frac) as usize % packed.len();
+            packed[pos] ^= 1 << bit;
+            // A flip in the encoder's flush/padding bytes may be invisible;
+            // anything the decoder does read must be caught by a structural
+            // check or the CRC. Silent corruption is the only failure.
+            if let Ok(out) = codec.decompress(&packed) {
+                prop_assert_eq!(&out, &data, "{}: silent corruption", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_flip_streams_error_or_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 16..512),
+        seed in any::<u64>(),
+        n_flips in 2usize..8,
+    ) {
+        for codec in table1_codecs() {
+            let mut packed = codec.compress(&data);
+            let mut s = seed | 1;
+            for _ in 0..n_flips {
+                // SplitMix64 step: cheap deterministic positions/bits.
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let pos = (z as usize) % packed.len();
+                packed[pos] ^= 1 << ((z >> 32) & 7);
+            }
+            if let Ok(out) = codec.decompress(&packed) {
+                prop_assert_eq!(&out, &data, "{}: silent corruption", codec.name());
+            }
+        }
+    }
+}
+
+/// Build `magic ++ varint(declared_len) ++ crc ++ tail` — the common header
+/// shape of all four containers — for forged-header tests.
+fn forged_header(magic: &[u8; 4], declared_len: u64, tail: &[u8]) -> Vec<u8> {
+    let mut out = magic.to_vec();
+    let mut v = declared_len;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+    out.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+    out.extend_from_slice(tail);
+    out
+}
+
+/// A forged declared length of several exabytes must be rejected without
+/// reserving memory for it. If the prealloc clamp regressed, this test
+/// aborts the process (or the OOM killer does) rather than failing an
+/// assert — either way CI catches it.
+#[test]
+fn astronomical_declared_lengths_do_not_preallocate() {
+    for (codec, magic) in table1_codecs().iter().zip(MAGICS) {
+        // Tail bytes parse as tiny token/block counts, so decoding ends
+        // almost immediately with a structural error.
+        let input = forged_header(magic, u64::MAX >> 2, &[0x01, 0x00, 0x00, 0x00]);
+        assert!(
+            codec.decompress(&input).is_err(),
+            "{} accepted a forged exabyte header",
+            codec.name()
+        );
+    }
+}
+
+/// A huge token count with no backing bits used to spin the gzip and 7z
+/// token loops on the readers' implicit zero padding, pushing synthesized
+/// literals until memory ran out. Both must now fail fast.
+#[test]
+fn huge_token_counts_with_no_input_fail_fast() {
+    // gzip-lite: declared_len huge, then a single block whose token count
+    // is u32::MAX but whose bit buffer is empty.
+    let gzip = &table1_codecs()[0];
+    let mut tail = Vec::new();
+    tail.push(0x01); // n_blocks = 1
+                     // Two length tables the block parser will reject cheaply — but even if
+                     // a variant parses, the empty bit buffer must stop the token loop.
+    tail.extend_from_slice(&[0x00, 0x00]);
+    let input = forged_header(b"SPZ1", u64::MAX >> 2, &tail);
+    assert!(gzip.decompress(&input).is_err());
+
+    // 7z-lite: token count exceeding the declared length is structurally
+    // impossible (every token emits at least one byte).
+    let sevenz = &table1_codecs()[1];
+    let mut tail = Vec::new();
+    tail.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F]); // n_tokens varint ≫ declared_len
+    tail.extend_from_slice(&[0x00; 8]); // range coder bytes
+    let input = forged_header(b"SP7Z", 4, &tail);
+    assert!(sevenz.decompress(&input).is_err());
+
+    // 7z-lite again: n_tokens ≤ declared_len but far more tokens than the
+    // five range-coder bytes can encode — the overrun check must trip
+    // instead of decoding literals from zero padding forever.
+    let mut tail = Vec::new();
+    tail.extend_from_slice(&[0xC0, 0x84, 0x3D]); // n_tokens = 1_000_000
+    tail.extend_from_slice(&[0x00; 5]);
+    let input = forged_header(b"SP7Z", 1_000_000, &tail);
+    let start = std::time::Instant::now();
+    assert!(sevenz.decompress(&input).is_err());
+    assert!(
+        start.elapsed().as_secs() < 5,
+        "7z token loop did not fail fast on a truncated range stream"
+    );
+}
+
+/// Sanity-pin the `table1_codecs` order the forged-header tests rely on.
+#[test]
+fn table1_codec_order_matches_magics() {
+    let names: Vec<&str> = table1_codecs().iter().map(|c| c.name()).collect();
+    assert_eq!(names, ["gzip-lite", "7z-lite", "snappy-lite", "zstd-lite"]);
+}

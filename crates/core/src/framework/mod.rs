@@ -16,7 +16,7 @@ mod spate;
 
 pub use raw::RawFramework;
 pub use shahed_fw::ShahedFramework;
-pub use spate::SpateFramework;
+pub use spate::{RecoveryReport, SpateFramework};
 
 use crate::query::{Query, QueryResult};
 use telco_trace::cells::CellLayout;

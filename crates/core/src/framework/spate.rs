@@ -6,8 +6,8 @@ use crate::index::decay::{decay, DecayPolicy, DecayReport};
 use crate::index::highlights::HighlightConfig;
 use crate::index::persist::{self, PersistError};
 use crate::index::{Covering, TemporalIndex};
-use crate::query::{project_snapshots, Query, QueryResult};
-use crate::storage::SnapshotStore;
+use crate::query::{project_snapshots, Coverage, Query, QueryResult};
+use crate::storage::{SnapshotStore, StorageError, StoredSnapshot};
 use codecs::{Codec, GzipLite};
 use dfs::Dfs;
 use std::collections::HashSet;
@@ -77,6 +77,38 @@ impl SpateFramework {
         self.decay_log
     }
 
+    /// Fallible ingest: the storage write can fail under injected faults
+    /// (retries exhausted, no live datanodes). On error nothing is
+    /// indexed and no partial leaf is visible — the caller may simply
+    /// retry the same snapshot. The infallible trait method
+    /// [`ExplorationFramework::ingest`] delegates here and panics on
+    /// error, which is fine for fault-free benchmarks.
+    pub fn try_ingest(&mut self, snapshot: &Snapshot) -> Result<IngestStats, StorageError> {
+        // The ingest span is also the reported-seconds clock: stage spans
+        // (segment/compress/dfs.write from the storage layer, incremence
+        // with nested highlights, decay) nest under it, so the flame
+        // table's per-stage self-times add up to the figure-7 numbers.
+        let span = obs::span("spate.ingest");
+        // Storage layer: compress + persist (staged + atomic commit).
+        let stored = self.store.store(snapshot)?;
+        // Indexing layer: incremence + highlights.
+        {
+            let _s = obs::span("incremence");
+            self.index.incremence(snapshot, &stored);
+        }
+        // Decaying: continuous sliding-window eviction.
+        if self.policy != DecayPolicy::never() {
+            self.run_decay(snapshot.epoch);
+        }
+        let seconds = span.finish_secs();
+        Ok(IngestStats {
+            epoch: snapshot.epoch,
+            seconds,
+            raw_bytes: stored.raw_bytes,
+            stored_bytes: stored.stored_bytes,
+        })
+    }
+
     /// Run a decay pass explicitly at a given "now".
     pub fn run_decay(&mut self, now: EpochId) -> DecayReport {
         let report =
@@ -102,22 +134,171 @@ impl SpateFramework {
     }
 
     /// Rebuild a framework from a filesystem holding both the persisted
-    /// index image and the (not yet decayed) snapshot files.
+    /// index image and the (not yet decayed) snapshot files. Runs the
+    /// recovery scan (see [`Self::recover`]) before returning, so the
+    /// restored warehouse is always self-consistent.
     pub fn restore(dfs: Dfs, layout: CellLayout) -> Result<Self, RestoreError> {
+        Self::restore_with_recovery(dfs, layout).map(|(fw, _)| fw)
+    }
+
+    /// [`Self::restore`] that also returns what the recovery scan did.
+    pub fn restore_with_recovery(
+        dfs: Dfs,
+        layout: CellLayout,
+    ) -> Result<(Self, RecoveryReport), RestoreError> {
         let packed = dfs.read(Self::INDEX_PATH).map_err(RestoreError::Dfs)?;
         let image = GzipLite::default()
             .decompress(&packed)
             .map_err(RestoreError::Codec)?;
         let index = persist::from_bytes(&image).map_err(RestoreError::Image)?;
-        Ok(Self {
+        let mut fw = Self {
             store: crate::storage::SnapshotStore::new(dfs, Arc::new(GzipLite::default()))
                 .with_root("/spate"),
             layout,
             index,
             policy: DecayPolicy::never(),
             decay_log: DecayReport::default(),
-        })
+        };
+        let report = fw.recover();
+        if !report.is_clean() {
+            // Make the reconciliation durable, otherwise every restart
+            // re-discovers (and re-fixes) the same inconsistencies.
+            let _ = fw.persist_index();
+        }
+        Ok((fw, report))
     }
+
+    /// Startup recovery scan: reconcile the persisted index against the
+    /// files actually committed on the filesystem.
+    ///
+    /// 1. **Orphans** — `.tmp` staging files from crashed ingests are
+    ///    deleted (their epoch either committed on retry or never will).
+    /// 2. **Missing leaves** — index leaves claiming presence whose file
+    ///    is gone are marked absent, so queries degrade to summaries or
+    ///    partial coverage instead of erroring epoch by epoch.
+    /// 3. **Strays** — committed `.snap` files the index doesn't know:
+    ///    those *newer* than the index's last epoch are re-indexed in
+    ///    epoch order (crash after commit, before index persist); older
+    ///    ones are stale (decay evicted the leaf but the delete crashed)
+    ///    and are reaped.
+    pub fn recover(&mut self) -> RecoveryReport {
+        let _span = obs::span("spate.recover");
+        let mut report = RecoveryReport::default();
+        for tmp in self.store.orphan_tmp_paths() {
+            if self.store.dfs().delete(&tmp).is_ok() {
+                report.orphans_deleted += 1;
+                obs::inc("spate.recover.orphans_deleted");
+            }
+        }
+        let missing: Vec<EpochId> = self
+            .index
+            .all_leaves()
+            .filter(|l| l.present && !self.store.contains(l.epoch))
+            .map(|l| l.epoch)
+            .collect();
+        for epoch in missing {
+            self.index.mark_absent(epoch);
+            report.leaves_marked_absent += 1;
+            obs::inc("spate.recover.leaves_marked_absent");
+        }
+        let known: HashSet<u32> = self.index.all_leaves().map(|l| l.epoch.0).collect();
+        let mut strays: Vec<(EpochId, String)> = self
+            .store
+            .committed_paths()
+            .into_iter()
+            .filter(|p| p.ends_with(".snap"))
+            .filter_map(|p| parse_leaf_epoch(&p).map(|e| (e, p)))
+            .filter(|(e, _)| !known.contains(&e.0))
+            .collect();
+        strays.sort();
+        for (epoch, path) in strays {
+            if self.index.last_epoch().is_none_or(|last| epoch > last) {
+                match self.store.load(epoch) {
+                    Ok(snap) => {
+                        let stored = StoredSnapshot {
+                            epoch,
+                            path: path.clone(),
+                            raw_bytes: snap.to_bytes().len() as u64,
+                            stored_bytes: self.store.dfs().file_len(&path).unwrap_or(0),
+                        };
+                        self.index.incremence(&snap, &stored);
+                        report.strays_reindexed += 1;
+                        obs::inc("spate.recover.strays_reindexed");
+                    }
+                    Err(_) => {
+                        // Unreadable right now (lost/corrupt replicas):
+                        // leave the file for a later repair + recovery.
+                        report.strays_unreadable += 1;
+                        obs::inc("spate.recover.strays_unreadable");
+                    }
+                }
+            } else if self.store.dfs().delete(&path).is_ok() {
+                report.stale_strays_deleted += 1;
+                obs::inc("spate.recover.stale_strays_deleted");
+            }
+        }
+        report
+    }
+
+    /// Classify every epoch of an inclusive window by what the warehouse
+    /// can serve *right now*: full-resolution leaf readable (served),
+    /// evicted by decay (decayed), or stored-but-unreadable / never
+    /// ingested (unavailable). Actually attempts each load, so the answer
+    /// reflects real replica health, not just metadata.
+    pub fn probe_coverage(&self, start: EpochId, end: EpochId) -> Coverage {
+        assert!(start <= end);
+        let mut cov = Coverage {
+            requested: end.0 - start.0 + 1,
+            ..Coverage::default()
+        };
+        let mut by_epoch: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
+        for leaf in self.index.leaves_in(start, end) {
+            by_epoch.insert(leaf.epoch.0, leaf.present);
+        }
+        for e in start.0..=end.0 {
+            match by_epoch.get(&e) {
+                Some(true) => {
+                    if self.store.load(EpochId(e)).is_ok() {
+                        cov.served += 1;
+                    } else {
+                        cov.unavailable += 1;
+                    }
+                }
+                Some(false) => cov.decayed += 1,
+                None => cov.unavailable += 1,
+            }
+        }
+        cov
+    }
+}
+
+/// What the startup recovery scan found and fixed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Orphaned `.tmp` staging files deleted.
+    pub orphans_deleted: u64,
+    /// Present-claiming index leaves whose file is gone, marked absent.
+    pub leaves_marked_absent: u64,
+    /// Committed files newer than the index, re-ingested into it.
+    pub strays_reindexed: u64,
+    /// Stale committed files older than the index's frontier, deleted.
+    pub stale_strays_deleted: u64,
+    /// Stray files that could not be read (left in place for repair).
+    pub strays_unreadable: u64,
+}
+
+impl RecoveryReport {
+    /// Did recovery find a perfectly consistent warehouse?
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Epoch encoded in a leaf path `<root>/<y>/<m>/<d>/<epoch:010>.snap`.
+fn parse_leaf_epoch(path: &str) -> Option<EpochId> {
+    let name = path.rsplit('/').next()?;
+    let digits = name.strip_suffix(".snap")?;
+    digits.parse::<u32>().ok().map(EpochId)
 }
 
 /// Errors rebuilding a framework from persisted state.
@@ -150,29 +331,7 @@ impl ExplorationFramework for SpateFramework {
     }
 
     fn ingest(&mut self, snapshot: &Snapshot) -> IngestStats {
-        // The ingest span is also the reported-seconds clock: stage spans
-        // (segment/compress/dfs.write from the storage layer, incremence
-        // with nested highlights, decay) nest under it, so the flame
-        // table's per-stage self-times add up to the figure-7 numbers.
-        let span = obs::span("spate.ingest");
-        // Storage layer: compress + persist.
-        let stored = self.store.store(snapshot).expect("spate store");
-        // Indexing layer: incremence + highlights.
-        {
-            let _s = obs::span("incremence");
-            self.index.incremence(snapshot, &stored);
-        }
-        // Decaying: continuous sliding-window eviction.
-        if self.policy != DecayPolicy::never() {
-            self.run_decay(snapshot.epoch);
-        }
-        let seconds = span.finish_secs();
-        IngestStats {
-            epoch: snapshot.epoch,
-            seconds,
-            raw_bytes: stored.raw_bytes,
-            stored_bytes: stored.stored_bytes,
-        }
+        self.try_ingest(snapshot).expect("spate store")
     }
 
     fn space(&self) -> SpaceReport {
@@ -195,11 +354,35 @@ impl ExplorationFramework for SpateFramework {
         match covering {
             Covering::Exact(leaves) => {
                 let _s = obs::span("scan");
-                let snaps: Vec<Snapshot> = leaves
-                    .iter()
-                    .filter_map(|l| self.store.load(l.epoch).ok())
-                    .collect();
-                QueryResult::Exact(project_snapshots(&snaps, q, &self.layout))
+                // Degraded-coverage contract: epochs whose leaf can't be
+                // read right now (lost or corrupt replicas) are dropped
+                // from the answer and *accounted*, never silently skipped
+                // and never fatal to the rest of the window.
+                let requested = leaves.len() as u32;
+                let mut snaps: Vec<Snapshot> = Vec::with_capacity(leaves.len());
+                let mut unavailable = 0u32;
+                for leaf in &leaves {
+                    match self.store.load(leaf.epoch) {
+                        Ok(s) => snaps.push(s),
+                        Err(_) => unavailable += 1,
+                    }
+                }
+                let result = project_snapshots(&snaps, q, &self.layout);
+                if unavailable == 0 {
+                    QueryResult::Exact(result)
+                } else {
+                    obs::inc("spate.query.partial");
+                    obs::add("spate.query.unavailable_epochs", u64::from(unavailable));
+                    QueryResult::Partial {
+                        result,
+                        coverage: Coverage {
+                            requested,
+                            served: requested - unavailable,
+                            decayed: 0,
+                            unavailable,
+                        },
+                    }
+                }
             }
             Covering::Summary {
                 resolution,
@@ -387,6 +570,121 @@ mod tests {
             Err(other) => panic!("wrong error: {other}"),
             Ok(_) => panic!("restore should fail without an image"),
         }
+    }
+
+    #[test]
+    fn unreadable_epochs_degrade_to_partial_with_coverage() {
+        let (layout, snaps) = tiny_trace(6);
+        let fs = dfs::Dfs::new(dfs::DfsConfig {
+            replication: 2,
+            n_datanodes: 4,
+            ..dfs::DfsConfig::default()
+        });
+        let mut spate = SpateFramework::new(fs.clone(), layout);
+        for s in &snaps {
+            spate.ingest(s);
+        }
+        // Destroy both replicas of epoch 2's leaf (bit rot on every copy).
+        let path = spate.store().path_for(EpochId(2));
+        for dn in 0..4 {
+            fs.corrupt_replica_for_test(&path, dn);
+        }
+        fs.drop_caches();
+        let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 5);
+        match spate.query(&q) {
+            QueryResult::Partial { result, coverage } => {
+                assert_eq!(coverage.requested, 6);
+                assert_eq!(coverage.served, 5);
+                assert_eq!(coverage.unavailable, 1);
+                assert_eq!(coverage.decayed, 0);
+                assert!(!coverage.is_complete());
+                let expected: usize = snaps
+                    .iter()
+                    .filter(|s| s.epoch != EpochId(2))
+                    .map(|s| s.cdr.len())
+                    .sum();
+                assert_eq!(result.cdr.rows.len(), expected, "other epochs served");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+        // A window avoiding the bad epoch stays exact.
+        let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(3, 5);
+        assert!(spate.query(&q).is_exact());
+        // probe_coverage agrees with the query path.
+        let cov = spate.probe_coverage(EpochId(0), EpochId(5));
+        assert_eq!(cov.served, 5);
+        assert_eq!(cov.unavailable, 1);
+    }
+
+    #[test]
+    fn recovery_scan_reconciles_index_and_store() {
+        let (layout, snaps) = tiny_trace(8);
+        let fs = dfs::Dfs::in_memory();
+        let mut spate = SpateFramework::new(fs.clone(), layout.clone());
+        // Ingest 6 epochs, persist the index, then ingest 2 more WITHOUT
+        // re-persisting: those files are "strays" after a crash.
+        for s in &snaps[..6] {
+            spate.ingest(s);
+        }
+        spate.persist_index().unwrap();
+        for s in &snaps[6..] {
+            spate.ingest(s);
+        }
+        // A crashed ingest leaves an orphaned staging file...
+        fs.write(&spate.store().tmp_path_for(EpochId(99)), b"torn")
+            .unwrap();
+        // ...and epoch 1's committed file vanished (all replicas wiped).
+        fs.delete(&spate.store().path_for(EpochId(1))).unwrap();
+
+        let (restored, report) = SpateFramework::restore_with_recovery(fs.clone(), layout).unwrap();
+        assert_eq!(report.orphans_deleted, 1);
+        assert_eq!(report.leaves_marked_absent, 1, "epoch 1 gone");
+        assert_eq!(report.strays_reindexed, 2, "epochs 6..8 recovered");
+        assert_eq!(report.stale_strays_deleted, 0);
+        assert!(!report.is_clean());
+        assert_eq!(restored.index().last_epoch(), Some(EpochId(7)));
+        assert!(!fs.exists(&restored.store().tmp_path_for(EpochId(99))));
+        // Re-indexed strays answer exact queries again.
+        let q = Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(6, 7);
+        assert!(restored.query(&q).is_exact());
+        // The lost epoch shows up in coverage as decayed-class absence
+        // (marked absent in the index), not a query error.
+        let cov = restored.probe_coverage(EpochId(0), EpochId(7));
+        assert_eq!(cov.requested, 8);
+        assert_eq!(cov.served, 7);
+        assert_eq!(cov.decayed, 1, "marked-absent leaf");
+        // A second recovery is a no-op.
+        let (_, second) = SpateFramework::restore_with_recovery(fs, layout_of(&restored)).unwrap();
+        assert!(second.is_clean(), "{second:?}");
+    }
+
+    fn layout_of(fw: &SpateFramework) -> CellLayout {
+        fw.layout.clone()
+    }
+
+    #[test]
+    fn probe_coverage_counts_decayed_epochs() {
+        let mut config = TraceConfig::scaled(1.0 / 2048.0);
+        config.days = 3;
+        let generator = TraceGenerator::new(config);
+        let layout = generator.layout().clone();
+        let policy = DecayPolicy {
+            full_resolution_days: 1,
+            day_highlight_days: 100,
+            month_highlight_days: 100,
+            year_highlight_days: 100,
+        };
+        let mut spate = SpateFramework::in_memory(layout).with_decay(policy);
+        for s in generator {
+            spate.ingest(&s);
+        }
+        let last = spate.index().last_epoch().unwrap();
+        let cov = spate.probe_coverage(EpochId(0), last);
+        assert_eq!(cov.requested, last.0 + 1);
+        assert!(cov.decayed > 0, "{cov:?}");
+        assert!(cov.served > 0, "{cov:?}");
+        assert_eq!(cov.unavailable, 0);
+        assert_eq!(cov.served + cov.decayed, cov.requested);
     }
 
     #[test]

@@ -295,6 +295,31 @@ impl TemporalIndex {
             .count()
     }
 
+    /// All leaves in epoch order, present or decayed.
+    pub fn all_leaves(&self) -> impl Iterator<Item = &EpochLeaf> {
+        self.each_day().flat_map(|d| d.leaves.iter())
+    }
+
+    /// Mark one leaf absent (its stored file is gone or unreadable —
+    /// recovery-scan reconciliation, not decay: highlights stay intact).
+    /// Returns whether the leaf existed and was present.
+    pub fn mark_absent(&mut self, epoch: EpochId) -> bool {
+        for year in &mut self.years {
+            for month in &mut year.months {
+                for day in &mut month.days {
+                    for leaf in &mut day.leaves {
+                        if leaf.epoch == epoch {
+                            let was = leaf.present;
+                            leaf.present = false;
+                            return was;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
     /// Mutable access for the decay module.
     pub(crate) fn years_mut(&mut self) -> &mut Vec<YearNode> {
         &mut self.years

@@ -56,10 +56,12 @@ pub mod storage;
 pub mod tasks;
 
 pub use delta_store::DeltaSnapshotStore;
-pub use framework::{ExplorationFramework, RawFramework, ShahedFramework, SpateFramework};
+pub use framework::{
+    ExplorationFramework, RawFramework, RecoveryReport, ShahedFramework, SpateFramework,
+};
 pub use index::decay::{DecayPolicy, DecayReport};
 pub use index::highlights::{HighlightConfig, Highlights};
 pub use index::TemporalIndex;
-pub use query::{Query, QueryResult};
+pub use query::{Coverage, Query, QueryResult};
 pub use session::ExplorerSession;
 pub use storage::SnapshotStore;

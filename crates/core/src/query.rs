@@ -7,6 +7,7 @@
 
 use crate::index::highlights::{Highlights, Resolution};
 use std::collections::HashSet;
+use std::fmt;
 use telco_trace::cells::{BoundingBox, CellLayout};
 use telco_trace::record::Value;
 use telco_trace::schema::{cdr, Schema, TableKind};
@@ -78,11 +79,64 @@ pub struct ExactResult {
     pub epochs_read: usize,
 }
 
+/// Epoch-level accounting of how much of a query window was served.
+///
+/// The degraded-coverage contract: a window query never lies about
+/// completeness. Every epoch of `w` is classified as *served* (its leaf
+/// was read at full resolution), *decayed* (evicted by the decay fungus —
+/// absent by design, summarized by highlights), or *unavailable* (stored
+/// but unreadable right now: replicas lost or corrupt beyond repair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Epochs in the requested window.
+    pub requested: u32,
+    /// Epochs whose full-resolution leaf was read successfully.
+    pub served: u32,
+    /// Epochs evicted by decay (deliberately absent).
+    pub decayed: u32,
+    /// Epochs whose leaf exists but could not be read (faults).
+    pub unavailable: u32,
+}
+
+impl Coverage {
+    /// Every requested epoch was served at full resolution.
+    pub fn is_complete(&self) -> bool {
+        self.served == self.requested
+    }
+
+    /// Served fraction of the requested window in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.requested == 0 {
+            1.0
+        } else {
+            f64::from(self.served) / f64::from(self.requested)
+        }
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} served ({} decayed, {} unavailable)",
+            self.served, self.requested, self.decayed, self.unavailable
+        )
+    }
+}
+
 /// Result of a data exploration query.
 #[derive(Debug)]
 pub enum QueryResult {
     /// Full-resolution rows (window within the retained leaves).
     Exact(ExactResult),
+    /// Full-resolution rows for *part* of the window: some epochs were
+    /// unreadable (lost/corrupt replicas) or decayed mid-window, and the
+    /// coverage report says exactly which fraction was served. Degraded
+    /// availability yields partial data, never an error.
+    Partial {
+        result: ExactResult,
+        coverage: Coverage,
+    },
     /// The window decayed past full resolution: the lowest covering node's
     /// highlights, spatially filtered. "SPATE might retrieve records for a
     /// larger period than the one requested ... serves as an implicit
@@ -100,14 +154,38 @@ impl QueryResult {
         matches!(self, QueryResult::Exact(_))
     }
 
+    pub fn is_partial(&self) -> bool {
+        matches!(self, QueryResult::Partial { .. })
+    }
+
     pub fn is_summary(&self) -> bool {
         matches!(self, QueryResult::Summary { .. })
+    }
+
+    /// Coverage of the answer: complete for exact results, the recorded
+    /// report for partial ones, `None` for summaries/unavailable (no
+    /// epoch-level accounting applies).
+    pub fn coverage(&self) -> Option<Coverage> {
+        match self {
+            QueryResult::Exact(e) => {
+                let n = e.epochs_read as u32;
+                Some(Coverage {
+                    requested: n,
+                    served: n,
+                    decayed: 0,
+                    unavailable: 0,
+                })
+            }
+            QueryResult::Partial { coverage, .. } => Some(*coverage),
+            _ => None,
+        }
     }
 
     /// Total exact rows across both tables (0 for summaries).
     pub fn row_count(&self) -> usize {
         match self {
             QueryResult::Exact(e) => e.cdr.rows.len() + e.nms.rows.len(),
+            QueryResult::Partial { result, .. } => result.cdr.rows.len() + result.nms.rows.len(),
             _ => 0,
         }
     }
@@ -276,5 +354,54 @@ mod tests {
         assert!(!e.is_summary());
         assert_eq!(e.row_count(), 0);
         assert!(!QueryResult::Unavailable.is_exact());
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let c = Coverage {
+            requested: 10,
+            served: 7,
+            decayed: 2,
+            unavailable: 1,
+        };
+        assert!(!c.is_complete());
+        assert!((c.fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(c.to_string(), "7/10 served (2 decayed, 1 unavailable)");
+        let full = Coverage {
+            requested: 4,
+            served: 4,
+            ..Coverage::default()
+        };
+        assert!(full.is_complete());
+        assert_eq!(Coverage::default().fraction(), 1.0, "empty window");
+    }
+
+    #[test]
+    fn partial_results_report_their_coverage() {
+        let r = QueryResult::Partial {
+            result: ExactResult {
+                cdr: TableSlice::empty(TableKind::Cdr),
+                nms: TableSlice::empty(TableKind::Nms),
+                epochs_read: 3,
+            },
+            coverage: Coverage {
+                requested: 5,
+                served: 3,
+                decayed: 0,
+                unavailable: 2,
+            },
+        };
+        assert!(r.is_partial() && !r.is_exact());
+        let c = r.coverage().unwrap();
+        assert_eq!(c.served, 3);
+        assert_eq!(c.unavailable, 2);
+        assert!(QueryResult::Unavailable.coverage().is_none());
+        // Exact results synthesize a complete report.
+        let e = QueryResult::Exact(ExactResult {
+            cdr: TableSlice::empty(TableKind::Cdr),
+            nms: TableSlice::empty(TableKind::Nms),
+            epochs_read: 4,
+        });
+        assert!(e.coverage().unwrap().is_complete());
     }
 }

@@ -74,6 +74,9 @@ impl StoredSnapshot {
     }
 }
 
+/// Staging suffix for crash-consistent writes: `<leaf>.snap.tmp`.
+pub const TMP_SUFFIX: &str = ".tmp";
+
 /// The snapshot store: a codec in front of the replicated filesystem.
 #[derive(Clone)]
 pub struct SnapshotStore {
@@ -115,7 +118,18 @@ impl SnapshotStore {
         )
     }
 
+    /// The staging path a snapshot is written to before commit.
+    pub fn tmp_path_for(&self, epoch: EpochId) -> String {
+        format!("{}{}", self.path_for(epoch), TMP_SUFFIX)
+    }
+
     /// Serialize, compress and persist one snapshot.
+    ///
+    /// Crash-consistent: bytes land at `<leaf>.snap.tmp` first, then an
+    /// atomic [`Dfs::rename`] commits them to the final leaf path. A crash
+    /// mid-write leaves either nothing or an orphaned `.tmp` that the
+    /// recovery scan ([`crate::framework::SpateFramework::restore`])
+    /// deletes — readers can never observe a torn leaf.
     ///
     /// Each stage opens a tracing span ("segment" → "compress" →
     /// "dfs.write", the last inside the dfs crate) so the flame table
@@ -130,7 +144,20 @@ impl SnapshotStore {
             self.codec.compress_metered(&raw)
         };
         let path = self.path_for(snapshot.epoch);
-        self.dfs.write(&path, &packed)?;
+        let tmp = self.tmp_path_for(snapshot.epoch);
+        // A stale orphan from a crashed earlier attempt would block the
+        // staging write; clear it first (write-once files).
+        match self.dfs.delete(&tmp) {
+            Ok(_) | Err(DfsError::NotFound(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.dfs.write(&tmp, &packed)?;
+        if let Err(e) = self.dfs.rename(&tmp, &path) {
+            // Commit failed (e.g. the leaf already exists): don't leave the
+            // staging file behind.
+            let _ = self.dfs.delete(&tmp);
+            return Err(e.into());
+        }
         Ok(StoredSnapshot {
             epoch: snapshot.epoch,
             path,
@@ -186,12 +213,34 @@ impl SnapshotStore {
     }
 
     /// Total stored (compressed, pre-replication) bytes under this root.
+    /// Uncommitted `.tmp` staging files don't count — they are invisible
+    /// to queries and reaped by recovery.
     pub fn stored_bytes(&self) -> u64 {
         self.dfs
             .list(&format!("{}/", self.root))
             .iter()
+            .filter(|p| !p.ends_with(TMP_SUFFIX))
             .filter_map(|p| self.dfs.file_len(p).ok())
             .sum()
+    }
+
+    /// All committed leaf paths under this root, lexicographic (and thus
+    /// epoch) order.
+    pub fn committed_paths(&self) -> Vec<String> {
+        self.dfs
+            .list(&format!("{}/", self.root))
+            .into_iter()
+            .filter(|p| !p.ends_with(TMP_SUFFIX))
+            .collect()
+    }
+
+    /// Orphaned staging files under this root (crashed ingests).
+    pub fn orphan_tmp_paths(&self) -> Vec<String> {
+        self.dfs
+            .list(&format!("{}/", self.root))
+            .into_iter()
+            .filter(|p| p.ends_with(TMP_SUFFIX))
+            .collect()
     }
 }
 
@@ -283,6 +332,23 @@ mod tests {
         b.store(&snap).unwrap();
         assert!(a.contains(snap.epoch) && b.contains(snap.epoch));
         assert!(a.stored_bytes() > b.stored_bytes(), "identity vs gzip");
+    }
+
+    #[test]
+    fn store_commits_atomically_over_stale_orphans() {
+        let store = store_with(Arc::new(GzipLite::default()));
+        let mut generator = TraceGenerator::new(TraceConfig::tiny());
+        let snap = generator.next_snapshot().unwrap();
+        // Simulate a crashed earlier ingest: an orphaned staging file.
+        let tmp = store.tmp_path_for(snap.epoch);
+        store.dfs().write(&tmp, b"torn partial write").unwrap();
+        // A retried store must replace the orphan and commit cleanly.
+        store.store(&snap).unwrap();
+        assert!(!store.dfs().exists(&tmp), "staging file must not survive");
+        assert!(store.contains(snap.epoch));
+        assert_eq!(store.load(snap.epoch).unwrap().to_bytes(), snap.to_bytes());
+        assert!(store.orphan_tmp_paths().is_empty());
+        assert_eq!(store.committed_paths().len(), 1);
     }
 
     #[test]

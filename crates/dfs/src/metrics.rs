@@ -25,6 +25,12 @@ pub struct DfsMetrics {
     pub bytes_deleted: u64,
     /// Replica blocks reclaimed from datanodes by deletes.
     pub replicas_freed: u64,
+    /// Reads that failed mid-file after transferring some blocks.
+    pub partial_reads: u64,
+    /// Bytes actually transferred by failed reads before the error. Kept
+    /// separate from `bytes_read` so complete-read accounting stays exact
+    /// while chaos runs still see every byte that crossed the wire.
+    pub bytes_read_partial: u64,
 }
 
 /// Internal atomic counters.
@@ -37,12 +43,20 @@ pub(crate) struct MetricsInner {
     deletes: AtomicU64,
     bytes_deleted: AtomicU64,
     replicas_freed: AtomicU64,
+    partial_reads: AtomicU64,
+    bytes_read_partial: AtomicU64,
 }
 
 impl MetricsInner {
     pub(crate) fn record_read(&self, bytes: u64) {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A read failed mid-file after moving `bytes` of block data.
+    pub(crate) fn record_partial_read(&self, bytes: u64) {
+        self.partial_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read_partial.fetch_add(bytes, Ordering::Relaxed);
     }
 
     pub(crate) fn record_write(&self, bytes: u64, _replication: u64) {
@@ -75,6 +89,8 @@ impl MetricsInner {
             deletes: self.deletes.load(Ordering::Relaxed),
             bytes_deleted: self.bytes_deleted.load(Ordering::Relaxed),
             replicas_freed: self.replicas_freed.load(Ordering::Relaxed),
+            partial_reads: self.partial_reads.load(Ordering::Relaxed),
+            bytes_read_partial: self.bytes_read_partial.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,6 +112,18 @@ mod tests {
         assert_eq!(s.bytes_written, 5);
         assert_eq!(s.n_files, 1);
         assert_eq!(s.physical_bytes, 15);
+    }
+
+    #[test]
+    fn partial_reads_count_separately() {
+        let m = MetricsInner::default();
+        m.record_read(100);
+        m.record_partial_read(40);
+        let s = m.snapshot(0, 0, 0, 0);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_read, 100);
+        assert_eq!(s.partial_reads, 1);
+        assert_eq!(s.bytes_read_partial, 40);
     }
 
     #[test]

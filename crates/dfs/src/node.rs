@@ -36,11 +36,33 @@ impl DataNode {
         self.alive.store(true, Ordering::Release);
     }
 
+    /// Store (or replace — the repair path re-replicates over dropped
+    /// corrupt copies) a block replica.
     pub fn put_block(&self, block_id: u64, data: Vec<u8>) {
         let len = data.len() as u64;
         let prev = self.blocks.write().insert(block_id, data);
-        debug_assert!(prev.is_none(), "block {block_id} stored twice");
+        if let Some(old) = prev {
+            self.bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+        }
         self.bytes.fetch_add(len, Ordering::Relaxed);
+    }
+
+    /// Does this node hold a replica (regardless of liveness)?
+    pub fn has_block(&self, block_id: u64) -> bool {
+        self.blocks.read().contains_key(&block_id)
+    }
+
+    /// Flip one bit of a stored replica in place (test hook for at-rest
+    /// corruption). Returns whether the replica existed.
+    pub fn corrupt_block(&self, block_id: u64) -> bool {
+        let mut blocks = self.blocks.write();
+        match blocks.get_mut(&block_id) {
+            Some(data) if !data.is_empty() => {
+                data[0] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Fetch a block if the node is alive and holds it.
@@ -95,5 +117,23 @@ mod tests {
         assert_eq!(dn.bytes_stored(), 9, "disk usage persists through crash");
         dn.revive();
         assert_eq!(dn.get_block(9), Some(vec![9; 9]));
+    }
+
+    #[test]
+    fn replacing_a_block_keeps_byte_accounting_exact() {
+        let dn = DataNode::new(1);
+        dn.put_block(5, vec![0; 100]);
+        dn.put_block(5, vec![1; 40]); // repair re-replication overwrite
+        assert_eq!(dn.bytes_stored(), 40);
+        assert!(dn.has_block(5));
+    }
+
+    #[test]
+    fn corrupt_block_flips_stored_bytes() {
+        let dn = DataNode::new(2);
+        dn.put_block(7, vec![0xFF; 8]);
+        assert!(dn.corrupt_block(7));
+        assert_eq!(dn.get_block(7).unwrap()[0], 0xFE);
+        assert!(!dn.corrupt_block(99));
     }
 }

@@ -1,0 +1,111 @@
+//! Bounded exponential backoff for transient storage faults.
+//!
+//! Transient errors (RPC timeouts, brief node hiccups) are retried inside
+//! the filesystem itself — callers only ever see an error once the policy's
+//! attempt budget *and* deadline are both spent, mirroring the HDFS client
+//! behaviour the paper's testbed relied on.
+
+use std::time::Duration;
+
+/// Retry policy applied to transient read/write faults.
+///
+/// Backoff for attempt `n` (0-based) is `base_backoff_us << n`, capped at
+/// `max_backoff_us`. The whole operation additionally respects a total
+/// `deadline_us` budget: once it is exceeded no further attempts are made
+/// even if `max_attempts` is not yet reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per block operation (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff, microseconds.
+    pub base_backoff_us: u64,
+    /// Backoff cap, microseconds.
+    pub max_backoff_us: u64,
+    /// Total per-operation retry budget, microseconds.
+    pub deadline_us: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Defaults tuned to the simulation's time scale: four attempts,
+    /// 50 µs → 400 µs backoff, 50 ms deadline.
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_us: 50,
+            max_backoff_us: 2_000,
+            deadline_us: 50_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (fail-fast unit tests).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+            deadline_us: 0,
+        }
+    }
+
+    /// Backoff to sleep after a failed attempt `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let us = self
+            .base_backoff_us
+            .saturating_shl(attempt.min(32))
+            .min(self.max_backoff_us);
+        Duration::from_micros(us)
+    }
+
+    /// Is another attempt allowed after `attempt` attempts took `elapsed`?
+    pub fn allows(&self, next_attempt: u32, elapsed: Duration) -> bool {
+        next_attempt < self.max_attempts && elapsed < Duration::from_micros(self.deadline_us.max(1))
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        self.checked_shl(rhs).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 100,
+            max_backoff_us: 500,
+            deadline_us: 10_000,
+        };
+        assert_eq!(p.backoff(0), Duration::from_micros(100));
+        assert_eq!(p.backoff(1), Duration::from_micros(200));
+        assert_eq!(p.backoff(2), Duration::from_micros(400));
+        assert_eq!(p.backoff(3), Duration::from_micros(500));
+        assert_eq!(p.backoff(31), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn deadline_and_attempts_both_bound() {
+        let p = RetryPolicy::default();
+        assert!(p.allows(1, Duration::from_micros(10)));
+        assert!(!p.allows(p.max_attempts, Duration::from_micros(10)));
+        assert!(!p.allows(1, Duration::from_millis(60)));
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        let p = RetryPolicy::none();
+        assert!(!p.allows(1, Duration::ZERO));
+        assert_eq!(p.backoff(0), Duration::ZERO);
+    }
+}

@@ -68,6 +68,10 @@ fn main() {
                 highlights.cdr_records,
                 highlights.per_cell.len()
             ),
+            QueryResult::Partial { result, coverage } => format!(
+                "PARTIAL — {} rows, coverage {coverage}",
+                result.cdr.rows.len()
+            ),
             QueryResult::Unavailable => "UNAVAILABLE".to_string(),
         };
         println!("  day {:>2} (age {:>2}): {desc}", day, last_day - day);
