@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale 1/N] [--days D] [--unthrottled]
-//!       [--seed N] [--profile] [--metrics-json PATH]
+//!       [--seed N] [--clients N] [--profile] [--metrics-json PATH]
 //!
 //! EXPERIMENT: table1 | fig4 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
-//!             | decay | chaos | space-summary | all (default)
+//!             | decay | chaos | serve | space-summary | all (default)
 //!
-//! --seed N             fault-plan seed for the chaos experiment (default 7);
-//!                      two runs with the same seed print identical `chaos:`
-//!                      lines
+//! --seed N             workload/fault-plan seed for the chaos and serve
+//!                      experiments (default 7); two runs with the same seed
+//!                      print identical `chaos:` / `serve:` lines
+//! --clients N          concurrent clients for the serve experiment
+//!                      (default 8)
 //!
 //! --profile            print the span flame table (per-stage wall time)
 //!                      after the experiment finishes
@@ -32,9 +34,14 @@ fn main() {
     let mut profile = false;
     let mut metrics_json: Option<String> = None;
     let mut seed = 7u64;
+    let mut clients = 8usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "-h" | "--help" => {
+                print_help();
+                return;
+            }
             "--profile" => profile = true,
             "--metrics-json" => {
                 i += 1;
@@ -57,6 +64,10 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = args[i].parse().expect("bad --seed");
+            }
+            "--clients" => {
+                i += 1;
+                clients = args[i].parse().expect("bad --clients");
             }
             other if !other.starts_with("--") => experiment = other.to_string(),
             other => {
@@ -86,6 +97,7 @@ fn main() {
         "fig11" | "fig12" => response_figs(&config),
         "decay" => decay_run(&config),
         "chaos" => chaos_run(&config, seed),
+        "serve" => serve_run(&config, clients, seed),
         "space-summary" => space_summary(&config),
         "all" => {
             fig4(&config);
@@ -95,7 +107,7 @@ fn main() {
             decay_run(&config);
         }
         other => {
-            eprintln!("unknown experiment {other}");
+            eprintln!("unknown experiment {other} (try `repro --help`)");
             std::process::exit(2);
         }
     }
@@ -108,6 +120,39 @@ fn main() {
         std::fs::write(&path, obs::export::json(obs::global())).expect("writing --metrics-json");
         println!("\nmetrics written to {path}");
     }
+}
+
+fn print_help() {
+    println!(
+        "\
+repro — regenerate the SPATE paper's tables and figures, plus repo-grown experiments
+
+USAGE:
+    repro [EXPERIMENT] [FLAGS]
+
+EXPERIMENTS:
+    all              every paper artifact below, in order (default)
+    fig4             Fig. 4  — per-attribute entropy of CDR/NMS/CELL
+    table1           Table I — lossless codec ratio and compress/decompress times
+    fig7|fig8|fig9|fig10
+                     Figs. 7-10 — ingestion time & disk space by day period / weekday
+    fig11|fig12      Figs. 11-12 — task response time on RAW/SHAHED/SPATE
+    decay            continuous decay: sliding-window eviction under ingestion
+    chaos            seeded fault injection, repair, degraded-coverage queries
+    serve            concurrent serving tier: seeded clients, mid-run decay,
+                     latency percentiles, shed rate, cache hit ratio
+    space-summary    one-line total-space comparison
+
+FLAGS:
+    --scale 1/N          trace scale relative to the paper's 5 GB (default 1/128)
+    --days D             days of trace to generate
+    --unthrottled        disable the cluster-disk I/O model
+    --seed N             seed for chaos/serve workloads (default 7)
+    --clients N          concurrent clients for serve (default 8)
+    --profile            print the span flame table after the experiment
+    --metrics-json PATH  dump the metric registry as JSON
+    -h, --help           this text"
+    );
 }
 
 fn sparkline(values: &[f64]) -> String {
@@ -299,6 +344,57 @@ fn chaos_run(config: &BenchConfig, seed: u64) {
     );
     println!(
         "(acceptance: data_loss=0, repair healed every injected fault, same seed → identical lines)"
+    );
+}
+
+fn serve_run(config: &BenchConfig, clients: usize, seed: u64) {
+    println!("\n## Serving tier — concurrent clients under mid-run decay\n");
+    let r = spate_bench::serve_experiment(config, clients, seed);
+    // `serve:` lines are a pure function of (seed, clients, scale) — CI
+    // runs the experiment twice and diffs them, and gates on the
+    // stale_reads/protocol_errors fields being zero.
+    println!(
+        "serve: seed={} clients={} queries={} rows_streamed={} phase1_rows={} day0_count={} counts_agree={}",
+        r.seed, r.clients, r.queries, r.rows_streamed, r.phase1_rows, r.day0_count, r.counts_agree
+    );
+    println!(
+        "serve: per_client_rows={:?} stale_reads={} protocol_errors={}",
+        r.per_client_rows, r.stale_reads, r.protocol_errors
+    );
+    // Timing-dependent: never diffed, varies run to run.
+    let (i50, i95, i99) = spate_bench::serve_bench::latency_us("interactive");
+    let (s50, s95, s99) = spate_bench::serve_bench::latency_us("scan");
+    println!(
+        "serve-perf: throughput={:.0} q/s wall={:.3}s interactive_us p50={} p95={} p99={} scan_us p50={} p95={} p99={}",
+        r.throughput(),
+        r.wall_secs,
+        i50,
+        i95,
+        i99,
+        s50,
+        s95,
+        s99
+    );
+    println!(
+        "serve-perf: shed_overflow={} shed_deadline={} shed_rate={:.4} client_retries={} prefetches={}",
+        r.shed_overflow,
+        r.shed_deadline,
+        r.shed_rate(),
+        r.shed_retries,
+        r.prefetches
+    );
+    println!(
+        "serve-perf: cache hit_ratio={:.3} hits={} misses={} inserts={} evictions={} invalidations={} (decay invalidated {})",
+        r.cache.hit_ratio(),
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.inserts,
+        r.cache.evictions,
+        r.cache.invalidations,
+        r.decay_invalidations
+    );
+    println!(
+        "(acceptance: stale_reads=0, protocol_errors=0, counts_agree=true, same seed → identical `serve:` lines)"
     );
 }
 

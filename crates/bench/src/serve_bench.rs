@@ -1,0 +1,275 @@
+//! Closed-loop load generator for the serving tier (`repro serve`).
+//!
+//! N seeded clients hammer one [`Server`] through the frame protocol in
+//! two barrier-separated phases. Between the phases the main thread
+//! ingests the first snapshot of day 2, which triggers the decay pass
+//! and evicts every day-0 epoch the clients were just reading — the
+//! same mid-run mutation the CI smoke gate uses to prove the shared
+//! cache never serves stale rows.
+//!
+//! The report splits cleanly into two halves:
+//!
+//! * **answer-deterministic** — query counts, per-client row totals,
+//!   the day-0 SQL aggregate, stale reads, protocol errors. These are a
+//!   pure function of `(seed, clients, scale)` regardless of thread
+//!   interleaving; the `repro` binary prints them as `serve:` lines and
+//!   CI diffs two runs byte-for-byte.
+//! * **timing-dependent** — latency percentiles, throughput, shed and
+//!   cache-hit counts. Printed as `serve-perf:` lines, never diffed.
+
+use crate::BenchConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spate_core::framework::ExplorationFramework;
+use spate_core::framework::SpateFramework;
+use spate_core::DecayPolicy;
+use spate_serve::{CacheStats, Reply, ServeConfig, Server};
+use std::sync::{Arc, Barrier};
+use telco_trace::cells::BoundingBox;
+use telco_trace::record::Value;
+use telco_trace::time::EPOCHS_PER_DAY;
+use telco_trace::{Snapshot, TraceConfig, TraceGenerator};
+
+/// Per-client workload volume (per phase where applicable).
+const INTERACTIVE_QUERIES: usize = 24;
+const SCAN_QUERIES: usize = 6;
+
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub seed: u64,
+    pub clients: usize,
+    /// Queries actually served (shed submissions retried by clients are
+    /// admitted exactly once each, so this is workload-deterministic).
+    pub queries: u64,
+    pub rows_streamed: u64,
+    /// Sum over clients of phase-1 exact row totals.
+    pub phase1_rows: u64,
+    pub per_client_rows: Vec<u64>,
+    /// The day-0 `SELECT COUNT(*) FROM CDR` every client computed in
+    /// phase 1 — identical across clients or the run is broken.
+    pub day0_count: i64,
+    pub counts_agree: bool,
+    /// Phase-2 replies over the decayed day that still carried rows.
+    pub stale_reads: u64,
+    pub protocol_errors: u64,
+    // ---- timing-dependent below ----
+    pub shed_overflow: u64,
+    pub shed_deadline: u64,
+    /// Client-side resubmissions after a shed reply.
+    pub shed_retries: u64,
+    pub cache: CacheStats,
+    pub decay_invalidations: u64,
+    pub prefetches: u64,
+    pub wall_secs: f64,
+}
+
+impl ServeReport {
+    pub fn throughput(&self) -> f64 {
+        self.queries as f64 / self.wall_secs.max(1e-9)
+    }
+
+    pub fn shed_rate(&self) -> f64 {
+        let shed = self.shed_overflow + self.shed_deadline;
+        shed as f64 / (self.queries + shed).max(1) as f64
+    }
+}
+
+fn quantiles(name: &str) -> (u64, u64, u64) {
+    let h = obs::global().histogram(name);
+    (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
+}
+
+/// Latency percentiles in microseconds for one admission class, read
+/// back from the `serve.latency_us.*` histograms the server populates.
+pub fn latency_us(class: &str) -> (u64, u64, u64) {
+    quantiles(&format!("serve.latency_us.{class}"))
+}
+
+/// Drive the full two-phase scenario and collect the report.
+pub fn serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> ServeReport {
+    let day = EPOCHS_PER_DAY;
+    let mut trace_config = TraceConfig::scaled(config.scale);
+    trace_config.days = 3;
+    let mut generator = TraceGenerator::new(trace_config);
+    let layout = generator.layout().clone();
+    let snaps: Vec<Snapshot> = (&mut generator).take(2 * day as usize + 1).collect();
+
+    let policy = DecayPolicy {
+        full_resolution_days: 1,
+        day_highlight_days: 100,
+        month_highlight_days: 100,
+        year_highlight_days: 100,
+    };
+    let mut fw = SpateFramework::in_memory(layout).with_decay(policy);
+    for s in &snaps[..2 * day as usize] {
+        fw.ingest(s);
+    }
+
+    let server = Arc::new(Server::start(fw, ServeConfig::default()));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let started = std::time::Instant::now();
+
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let server = server.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            client_loop(&server, &barrier, seed, c as u64)
+        }));
+    }
+
+    barrier.wait(); // all clients finished phase 1
+    let invalidated_before = server.cache_stats().invalidations;
+    server.ingest(&snaps[2 * day as usize]); // day 2 arrives → day 0 decays
+    let decay_invalidations = server.cache_stats().invalidations - invalidated_before;
+    barrier.wait(); // release phase 2
+
+    let mut report = ServeReport {
+        seed,
+        clients,
+        queries: 0,
+        rows_streamed: 0,
+        phase1_rows: 0,
+        per_client_rows: Vec::with_capacity(clients),
+        day0_count: -1,
+        counts_agree: true,
+        stale_reads: 0,
+        protocol_errors: 0,
+        shed_overflow: 0,
+        shed_deadline: 0,
+        shed_retries: 0,
+        cache: CacheStats::default(),
+        decay_invalidations,
+        prefetches: 0,
+        wall_secs: 0.0,
+    };
+    for h in handles {
+        let c = h.join().expect("serve client panicked");
+        report.phase1_rows += c.rows;
+        report.per_client_rows.push(c.rows);
+        report.stale_reads += c.stale_reads;
+        report.shed_retries += c.shed_retries;
+        if report.day0_count < 0 {
+            report.day0_count = c.day0_count;
+        } else if report.day0_count != c.day0_count {
+            report.counts_agree = false;
+        }
+    }
+    report.wall_secs = started.elapsed().as_secs_f64();
+    report.cache = server.cache_stats();
+    report.prefetches = obs::global().counter("serve.prefetch").get();
+
+    let server = Arc::into_inner(server).expect("clients still hold server handles");
+    let stats = server.shutdown();
+    report.queries = stats.queries;
+    report.rows_streamed = stats.rows_streamed;
+    report.protocol_errors = stats.protocol_errors;
+    report.shed_overflow = stats.shed_overflow;
+    report.shed_deadline = stats.shed_deadline;
+    report
+}
+
+struct ClientOutcome {
+    rows: u64,
+    day0_count: i64,
+    stale_reads: u64,
+    shed_retries: u64,
+}
+
+fn client_loop(server: &Server, barrier: &Barrier, seed: u64, id: u64) -> ClientOutcome {
+    let day = EPOCHS_PER_DAY;
+    let mut conn = server.connect();
+    let mut rng = StdRng::seed_from_u64(seed ^ id.wrapping_mul(0x9E37_79B9));
+    let mut retries = 0u64;
+
+    // Deterministic workload, fixed before any racing begins.
+    let interactive: Vec<(u32, u32)> = (0..INTERACTIVE_QUERIES)
+        .map(|_| {
+            let start = rng.gen_range(0..day - 6);
+            let len = rng.gen_range(1..=6);
+            (start, start + len - 1)
+        })
+        .collect();
+    // Long windows over both retained days: classified as scans, queued
+    // on the low-priority lane, and deliberately deep enough to overflow
+    // it now and then so the shed/retry path sees real traffic.
+    let scans: Vec<(u32, u32)> = (0..SCAN_QUERIES)
+        .map(|_| {
+            let start = rng.gen_range(0..2 * day - 25);
+            let len = rng.gen_range(12..=24);
+            (start, start + len - 1)
+        })
+        .collect();
+    let day0 = (0u32, day - 1);
+
+    // Submit until a non-shed reply; every workload item is served once.
+    fn explore_once(conn: &mut spate_serve::ClientConn, w: (u32, u32), retries: &mut u64) -> Reply {
+        loop {
+            match conn
+                .explore(&["upflux", "downflux"], BoundingBox::everything(), w)
+                .expect("transport failed")
+            {
+                Reply::Shed { .. } => *retries += 1,
+                reply => return reply,
+            }
+        }
+    }
+
+    // Phase 1: everything retained; exact rows everywhere.
+    let mut rows = 0u64;
+    for &w in interactive.iter().chain(&scans) {
+        match explore_once(&mut conn, w, &mut retries) {
+            Reply::Rows { total_rows, .. } => rows += total_rows,
+            other => panic!("phase 1 expected rows, got {other:?}"),
+        }
+    }
+    let day0_count = loop {
+        match conn
+            .sql(day0, "SELECT COUNT(*) FROM CDR")
+            .expect("transport failed")
+        {
+            Reply::Shed { .. } => retries += 1,
+            Reply::Rows { rows, .. } => match rows[0][0][0] {
+                Value::Int(n) => break n,
+                ref v => panic!("unexpected count value {v:?}"),
+            },
+            other => panic!("phase 1 sql expected rows, got {other:?}"),
+        }
+    };
+
+    barrier.wait(); // phase 1 done
+    barrier.wait(); // day 0 decayed
+
+    // Phase 2: the same day-0 windows must all answer with summaries.
+    let mut stale_reads = 0u64;
+    for &w in &interactive {
+        match explore_once(&mut conn, w, &mut retries) {
+            Reply::Summary { .. } => {}
+            Reply::Rows { .. } => stale_reads += 1,
+            other => panic!("phase 2 unexpected reply {other:?}"),
+        }
+    }
+    loop {
+        match conn
+            .sql(day0, "SELECT COUNT(*) FROM CDR")
+            .expect("transport failed")
+        {
+            Reply::Shed { .. } => retries += 1,
+            Reply::Rows { rows, .. } => {
+                if rows[0][0][0] != Value::Int(0) {
+                    stale_reads += 1;
+                }
+                break;
+            }
+            other => panic!("phase 2 sql unexpected reply {other:?}"),
+        }
+    }
+
+    conn.close();
+    ClientOutcome {
+        rows,
+        day0_count,
+        stale_reads,
+        shed_retries: retries,
+    }
+}

@@ -76,6 +76,25 @@ pub trait ExplorationFramework {
 
     /// Evaluate a data exploration query `Q(a, b, w)`.
     fn query(&self, q: &Query) -> QueryResult;
+
+    /// Staleness epoch counter: bumped on every mutation that can change
+    /// what a window query answers (ingest, decay eviction, recovery
+    /// repairs). Caches key their entries by this value and treat any
+    /// change as an invalidation signal.
+    fn version(&self) -> u64;
+}
+
+/// Observer of warehouse mutations, for cache layers that must drop
+/// entries exactly when the tree changes. Hooks fire synchronously while
+/// the mutation still holds exclusive access to the framework, so an
+/// observer never races a reader that could re-populate a stale entry
+/// (readers run strictly before or strictly after the whole mutation).
+pub trait StoreObserver: Send + Sync {
+    /// A new snapshot was committed and indexed.
+    fn snapshot_ingested(&self, _epoch: EpochId) {}
+    /// These epochs lost their full-resolution leaf (decay eviction or a
+    /// recovery scan marking unreadable leaves absent).
+    fn epochs_evicted(&self, _epochs: &[EpochId]) {}
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ pub struct RawFramework {
     store: SnapshotStore,
     layout: CellLayout,
     ingested: BTreeSet<u32>,
+    version: u64,
 }
 
 impl RawFramework {
@@ -25,6 +26,7 @@ impl RawFramework {
             store: SnapshotStore::new(dfs, Arc::new(Identity)).with_root("/raw"),
             layout,
             ingested: BTreeSet::new(),
+            version: 0,
         }
     }
 
@@ -50,6 +52,7 @@ impl ExplorationFramework for RawFramework {
         let span = obs::span("raw.ingest");
         let stored = self.store.store(snapshot).expect("raw store");
         self.ingested.insert(snapshot.epoch.0);
+        self.version += 1;
         let seconds = span.finish_secs();
         IngestStats {
             epoch: snapshot.epoch,
@@ -71,6 +74,10 @@ impl ExplorationFramework for RawFramework {
             return None;
         }
         self.store.load(epoch).ok()
+    }
+
+    fn version(&self) -> u64 {
+        self.version
     }
 
     fn query(&self, q: &Query) -> QueryResult {

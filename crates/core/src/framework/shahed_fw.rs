@@ -24,6 +24,7 @@ pub struct ShahedFramework {
     layout: CellLayout,
     index: ShahedIndex,
     ingested: BTreeSet<u32>,
+    version: u64,
 }
 
 impl ShahedFramework {
@@ -34,6 +35,7 @@ impl ShahedFramework {
             layout,
             index,
             ingested: BTreeSet::new(),
+            version: 0,
         }
     }
 
@@ -103,6 +105,7 @@ impl ExplorationFramework for ShahedFramework {
             self.index.insert_epoch(snapshot.epoch, points);
         }
         self.ingested.insert(snapshot.epoch.0);
+        self.version += 1;
         let seconds = span.finish_secs();
         IngestStats {
             epoch: snapshot.epoch,
@@ -124,6 +127,10 @@ impl ExplorationFramework for ShahedFramework {
             return None;
         }
         self.store.load(epoch).ok()
+    }
+
+    fn version(&self) -> u64 {
+        self.version
     }
 
     fn query(&self, q: &Query) -> QueryResult {

@@ -1,8 +1,8 @@
 //! The SPATE framework: compression + multi-resolution index + highlights
 //! + decay, assembled from the storage and indexing layers.
 
-use crate::framework::{ExplorationFramework, IngestStats, SpaceReport};
-use crate::index::decay::{decay, DecayPolicy, DecayReport};
+use crate::framework::{ExplorationFramework, IngestStats, SpaceReport, StoreObserver};
+use crate::index::decay::{decay_with_fungus_traced, DecayPolicy, DecayReport, Fungus};
 use crate::index::highlights::HighlightConfig;
 use crate::index::persist::{self, PersistError};
 use crate::index::{Covering, TemporalIndex};
@@ -25,6 +25,11 @@ pub struct SpateFramework {
     index: TemporalIndex,
     policy: DecayPolicy,
     decay_log: DecayReport,
+    /// Staleness epoch counter, bumped on every mutation (see
+    /// [`ExplorationFramework::version`]).
+    version: u64,
+    /// Cache layers notified synchronously on every mutation.
+    observers: Vec<Arc<dyn StoreObserver>>,
 }
 
 impl SpateFramework {
@@ -39,6 +44,8 @@ impl SpateFramework {
             index: TemporalIndex::new(HighlightConfig::default()),
             policy: DecayPolicy::never(),
             decay_log: DecayReport::default(),
+            version: 0,
+            observers: Vec::new(),
         }
     }
 
@@ -77,6 +84,31 @@ impl SpateFramework {
         self.decay_log
     }
 
+    /// Register a mutation observer (e.g. the serving tier's shared
+    /// epoch cache). Hooks fire synchronously inside every mutation.
+    pub fn add_observer(&mut self, observer: Arc<dyn StoreObserver>) {
+        self.observers.push(observer);
+    }
+
+    fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
+    fn notify_ingested(&self, epoch: EpochId) {
+        for o in &self.observers {
+            o.snapshot_ingested(epoch);
+        }
+    }
+
+    fn notify_evicted(&self, epochs: &[EpochId]) {
+        if epochs.is_empty() {
+            return;
+        }
+        for o in &self.observers {
+            o.epochs_evicted(epochs);
+        }
+    }
+
     /// Fallible ingest: the storage write can fail under injected faults
     /// (retries exhausted, no live datanodes). On error nothing is
     /// indexed and no partial leaf is visible — the caller may simply
@@ -96,6 +128,8 @@ impl SpateFramework {
             let _s = obs::span("incremence");
             self.index.incremence(snapshot, &stored);
         }
+        self.bump_version();
+        self.notify_ingested(snapshot.epoch);
         // Decaying: continuous sliding-window eviction.
         if self.policy != DecayPolicy::never() {
             self.run_decay(snapshot.epoch);
@@ -111,9 +145,19 @@ impl SpateFramework {
 
     /// Run a decay pass explicitly at a given "now".
     pub fn run_decay(&mut self, now: EpochId) -> DecayReport {
-        let report =
-            decay(&mut self.index, now, &self.policy, &self.store).expect("decay eviction failed");
+        let (report, evicted) = decay_with_fungus_traced(
+            &mut self.index,
+            now,
+            &self.policy,
+            Fungus::EvictOldestIndividuals,
+            &self.store,
+        )
+        .expect("decay eviction failed");
         self.decay_log.merge(&report);
+        if report.did_anything() {
+            self.bump_version();
+        }
+        self.notify_evicted(&evicted);
         report
     }
 
@@ -158,6 +202,8 @@ impl SpateFramework {
             index,
             policy: DecayPolicy::never(),
             decay_log: DecayReport::default(),
+            version: 0,
+            observers: Vec::new(),
         };
         let report = fw.recover();
         if !report.is_clean() {
@@ -196,9 +242,11 @@ impl SpateFramework {
             .filter(|l| l.present && !self.store.contains(l.epoch))
             .map(|l| l.epoch)
             .collect();
+        let mut newly_absent: Vec<EpochId> = Vec::new();
         for epoch in missing {
             self.index.mark_absent(epoch);
             report.leaves_marked_absent += 1;
+            newly_absent.push(epoch);
             obs::inc("spate.recover.leaves_marked_absent");
         }
         let known: HashSet<u32> = self.index.all_leaves().map(|l| l.epoch.0).collect();
@@ -223,6 +271,7 @@ impl SpateFramework {
                         };
                         self.index.incremence(&snap, &stored);
                         report.strays_reindexed += 1;
+                        self.notify_ingested(epoch);
                         obs::inc("spate.recover.strays_reindexed");
                     }
                     Err(_) => {
@@ -236,6 +285,10 @@ impl SpateFramework {
                 report.stale_strays_deleted += 1;
                 obs::inc("spate.recover.stale_strays_deleted");
             }
+        }
+        self.notify_evicted(&newly_absent);
+        if !report.is_clean() {
+            self.bump_version();
         }
         report
     }
@@ -343,6 +396,10 @@ impl ExplorationFramework for SpateFramework {
 
     fn load_epoch(&self, epoch: EpochId) -> Option<Snapshot> {
         self.store.load(epoch).ok()
+    }
+
+    fn version(&self) -> u64 {
+        self.version
     }
 
     fn query(&self, q: &Query) -> QueryResult {

@@ -122,10 +122,25 @@ pub fn decay_with_fungus(
     fungus: Fungus,
     store: &SnapshotStore,
 ) -> Result<DecayReport, StorageError> {
+    decay_with_fungus_traced(index, now, policy, fungus, store).map(|(report, _)| report)
+}
+
+/// [`decay_with_fungus`] that also returns exactly which epochs lost
+/// their full-resolution leaf. Cache layers (the serving tier's shared
+/// decompressed-epoch cache, session caches) subscribe to this list so
+/// cached entries are dropped precisely when the tree changes.
+pub fn decay_with_fungus_traced(
+    index: &mut TemporalIndex,
+    now: EpochId,
+    policy: &DecayPolicy,
+    fungus: Fungus,
+    store: &SnapshotStore,
+) -> Result<(DecayReport, Vec<EpochId>), StorageError> {
     policy.validate();
     let _span = obs::span("decay.pass");
     let today = now.day_index();
     let mut report = DecayReport::default();
+    let mut evicted_epochs: Vec<EpochId> = Vec::new();
 
     for year in index.years_mut().iter_mut() {
         for month in &mut year.months {
@@ -161,6 +176,7 @@ pub fn decay_with_fungus(
                             report.bytes_freed += store.evict(leaf.epoch)?;
                             leaf.present = false;
                             report.leaves_evicted += 1;
+                            evicted_epochs.push(leaf.epoch);
                         }
                     }
                 }
@@ -210,7 +226,7 @@ pub fn decay_with_fungus(
         report.month_highlights_dropped as u64,
     );
     obs::add("core.decay.years_pruned", report.years_pruned as u64);
-    Ok(report)
+    Ok((report, evicted_epochs))
 }
 
 #[cfg(test)]
@@ -387,6 +403,41 @@ mod tests {
         // removes strictly more.
         let report2 = decay(&mut index, now, &policy, &store).unwrap();
         assert!(report2.leaves_evicted > 0, "strict fungus evicts the rest");
+    }
+
+    #[test]
+    fn traced_decay_names_every_evicted_epoch() {
+        let (mut index, store) = build(4);
+        let now = index.last_epoch().unwrap();
+        let policy = DecayPolicy {
+            full_resolution_days: 1,
+            day_highlight_days: 100,
+            month_highlight_days: 100,
+            year_highlight_days: 100,
+        };
+        let (report, evicted) = decay_with_fungus_traced(
+            &mut index,
+            now,
+            &policy,
+            Fungus::EvictOldestIndividuals,
+            &store,
+        )
+        .unwrap();
+        assert_eq!(evicted.len(), report.leaves_evicted);
+        assert!(!evicted.is_empty());
+        for e in &evicted {
+            assert!(!store.contains(*e), "evicted epoch {} still stored", e.0);
+        }
+        // An idempotent second pass evicts nothing new.
+        let (_, again) = decay_with_fungus_traced(
+            &mut index,
+            now,
+            &policy,
+            Fungus::EvictOldestIndividuals,
+            &store,
+        )
+        .unwrap();
+        assert!(again.is_empty(), "{again:?}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod tasks;
 pub use delta_store::DeltaSnapshotStore;
 pub use framework::{
     ExplorationFramework, RawFramework, RecoveryReport, ShahedFramework, SpateFramework,
+    StoreObserver,
 };
 pub use index::decay::{DecayPolicy, DecayReport};
 pub use index::highlights::{HighlightConfig, Highlights};

@@ -225,6 +225,17 @@ impl Projection {
 
 /// Evaluate the exact branch: project + spatially filter loaded snapshots.
 pub fn project_snapshots(snapshots: &[Snapshot], q: &Query, layout: &CellLayout) -> ExactResult {
+    project_snapshot_refs(snapshots.iter(), q, layout)
+}
+
+/// [`project_snapshots`] over borrowed snapshots from any container —
+/// the serving tier projects straight out of `Arc<Snapshot>` cache
+/// entries without cloning a single row.
+pub fn project_snapshot_refs<'a>(
+    snapshots: impl Iterator<Item = &'a Snapshot>,
+    q: &Query,
+    layout: &CellLayout,
+) -> ExactResult {
     let projection = Projection::resolve(&q.attributes);
     let cells: HashSet<u32> = layout.cells_in(&q.bbox).into_iter().collect();
 
@@ -239,7 +250,7 @@ pub fn project_snapshots(snapshots: &[Snapshot], q: &Query, layout: &CellLayout)
             column_names: projection.nms_names.clone(),
             rows: vec![],
         },
-        epochs_read: snapshots.len(),
+        epochs_read: 0,
     };
     if projection.cdr_cols.is_empty() {
         out.cdr = TableSlice::empty(TableKind::Cdr);
@@ -249,6 +260,7 @@ pub fn project_snapshots(snapshots: &[Snapshot], q: &Query, layout: &CellLayout)
     }
 
     for snap in snapshots {
+        out.epochs_read += 1;
         if !projection.cdr_cols.is_empty() {
             for r in &snap.cdr {
                 let cell = r.get(cdr::CELL_ID).as_i64().unwrap_or(-1);

@@ -112,7 +112,7 @@ fn projection_column_order_follows_the_query() {
 #[test]
 fn session_and_direct_paths_agree_under_mixed_zooming() {
     let (_, spate, _) = fixtures(10);
-    let mut session = ExplorerSession::new(&spate);
+    let mut session = ExplorerSession::new();
     let side = telco_trace::cells::REGION_SIDE_M;
     // A zoom sequence: broad → narrow time → narrow space → re-broaden.
     let queries = [
@@ -126,7 +126,7 @@ fn session_and_direct_paths_agree_under_mixed_zooming() {
         Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(0, 9),
     ];
     for q in &queries {
-        let via_session = match session.explore(q) {
+        let via_session = match session.explore(&spate, q) {
             QueryResult::Exact(e) => e.cdr.rows.len(),
             other => panic!("{other:?}"),
         };

@@ -1,0 +1,287 @@
+//! The shared, sharded decompressed-epoch cache of the serving tier.
+//!
+//! `ExplorerSession` caches decompressed windows *per session*; with many
+//! concurrent clients zooming over the same recent epochs that wastes
+//! both memory (N copies) and decompression work (N cold starts). The
+//! serving tier instead shares one cache of `Arc<Snapshot>` entries,
+//! keyed by epoch, across all clients:
+//!
+//! * **Sharded** — the epoch id picks a shard; each shard is an
+//!   independent mutex so concurrent workers rarely contend.
+//! * **LRU per shard** — a monotone tick stamps every touch; on overflow
+//!   the stalest entry of that shard is evicted.
+//! * **Coherent by construction** — a [`CacheInvalidator`] registered as
+//!   a [`StoreObserver`] on the framework drops entries synchronously
+//!   inside every mutation (ingest / decay / recovery), while that
+//!   mutation still holds exclusive access to the framework. Workers
+//!   only insert while holding the framework read lock, so a stale entry
+//!   can never be re-populated concurrently with the eviction that
+//!   removed it.
+
+use spate_core::StoreObserver;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// Cache sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    pub shards: usize,
+    /// Max entries (epochs) per shard.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            capacity_per_shard: 16,
+        }
+    }
+}
+
+struct Entry {
+    snap: Arc<Snapshot>,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<u32, Entry>,
+    tick: u64,
+}
+
+/// Sharded LRU cache of decompressed epochs.
+pub struct EpochCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Counter snapshot of cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups in `[0, 1]` (1 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl EpochCache {
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard: config.capacity_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, epoch: EpochId) -> &Mutex<Shard> {
+        &self.shards[epoch.0 as usize % self.shards.len()]
+    }
+
+    /// Look an epoch up, refreshing its recency on hit.
+    pub fn get(&self, epoch: EpochId) -> Option<Arc<Snapshot>> {
+        let mut sh = self.shard(epoch).lock().unwrap();
+        sh.tick += 1;
+        let tick = sh.tick;
+        match sh.map.get_mut(&epoch.0) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::inc("serve.cache.hit");
+                Some(e.snap.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::inc("serve.cache.miss");
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an epoch, evicting the shard's LRU entry on
+    /// overflow. Callers must hold the framework read lock — see the
+    /// coherence contract in the module docs.
+    pub fn insert(&self, epoch: EpochId, snap: Arc<Snapshot>) {
+        let mut sh = self.shard(epoch).lock().unwrap();
+        sh.tick += 1;
+        let tick = sh.tick;
+        if sh.map.len() >= self.capacity_per_shard && !sh.map.contains_key(&epoch.0) {
+            if let Some(&lru) = sh
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                sh.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                obs::inc("serve.cache.evict");
+            }
+        }
+        sh.map.insert(
+            epoch.0,
+            Entry {
+                snap,
+                last_used: tick,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop one epoch (mutation hook).
+    pub fn invalidate(&self, epoch: EpochId) {
+        let mut sh = self.shard(epoch).lock().unwrap();
+        if sh.map.remove(&epoch.0).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            obs::inc("serve.cache.invalidate");
+        }
+    }
+
+    /// Drop many epochs (decay / recovery hook).
+    pub fn invalidate_many(&self, epochs: &[EpochId]) {
+        for &e in epochs {
+            self.invalidate(e);
+        }
+    }
+
+    /// Number of cached epochs across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// [`StoreObserver`] adapter dropping cache entries on every framework
+/// mutation. Register on the framework *before* sharing it with workers.
+pub struct CacheInvalidator(pub Arc<EpochCache>);
+
+impl StoreObserver for CacheInvalidator {
+    fn snapshot_ingested(&self, epoch: EpochId) {
+        // A (re-)ingested epoch may shadow an entry cached from an
+        // earlier life of that epoch id; drop defensively.
+        self.0.invalidate(epoch);
+    }
+
+    fn epochs_evicted(&self, epochs: &[EpochId]) {
+        self.0.invalidate_many(epochs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_trace::{TraceConfig, TraceGenerator};
+
+    fn snaps(n: usize) -> Vec<Arc<Snapshot>> {
+        TraceGenerator::new(TraceConfig::scaled(1.0 / 4096.0))
+            .take(n)
+            .map(Arc::new)
+            .collect()
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let cache = EpochCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        let s = snaps(3);
+        cache.insert(EpochId(0), s[0].clone());
+        cache.insert(EpochId(1), s[1].clone());
+        assert!(cache.get(EpochId(0)).is_some());
+        // Epoch 1 is now the LRU entry; inserting epoch 2 evicts it.
+        cache.insert(EpochId(2), s[2].clone());
+        assert!(cache.get(EpochId(1)).is_none());
+        assert!(cache.get(EpochId(0)).is_some());
+        assert!(cache.get(EpochId(2)).is_some());
+        let st = cache.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.hits, 3);
+        assert_eq!(st.misses, 1);
+    }
+
+    #[test]
+    fn invalidation_drops_exactly_the_named_epochs() {
+        let cache = EpochCache::new(CacheConfig::default());
+        let s = snaps(4);
+        for (i, snap) in s.iter().enumerate() {
+            cache.insert(EpochId(i as u32), snap.clone());
+        }
+        cache.invalidate_many(&[EpochId(1), EpochId(3), EpochId(99)]);
+        assert!(cache.get(EpochId(0)).is_some());
+        assert!(cache.get(EpochId(1)).is_none());
+        assert!(cache.get(EpochId(2)).is_some());
+        assert!(cache.get(EpochId(3)).is_none());
+        assert_eq!(cache.stats().invalidations, 2, "missing epoch not counted");
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(EpochCache::new(CacheConfig::default()));
+        let s = snaps(8);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                let s = s.clone();
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let e = EpochId(((t + round) % 8) as u32);
+                        match cache.get(e) {
+                            Some(hit) => assert_eq!(hit.epoch, e),
+                            None => cache.insert(e, s[e.0 as usize].clone()),
+                        }
+                    }
+                });
+            }
+        });
+        let st = cache.stats();
+        assert_eq!(st.hits + st.misses, 200);
+    }
+}

@@ -1,0 +1,706 @@
+//! The length-prefixed binary frame protocol of the serving layer.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! +------+------+---------+----------+--- ... ---+
+//! | 0x53 | 0x56 | version |   kind   |  len: u32 |  payload (len bytes)
+//! | 'S'  | 'V'  |  0x01   |  u8      |  LE       |
+//! +------+------+---------+----------+-----------+
+//! ```
+//!
+//! Requests are a data exploration query `Q(a, b, w)` or a SPATE-SQL
+//! string scoped to a window; responses stream back in bounded chunks
+//! (header, row chunks of at most [`CHUNK_ROWS`] rows, then a terminal
+//! frame), so one multi-million-row scan never materializes as a single
+//! frame and slow consumers exert backpressure through the transport.
+//! Every payload leads with the request id it answers, so a client can
+//! pipeline requests over one connection.
+//!
+//! Decoding is adversarial-input-hardened in the same spirit as the
+//! codec containers: a forged length field beyond [`MAX_PAYLOAD`] is
+//! rejected *before* any allocation, truncated frames report
+//! [`ProtoError::Truncated`] rather than panicking, and trailing bytes
+//! after a well-formed payload are an error (no smuggling).
+
+use std::fmt;
+use telco_trace::record::Value;
+
+/// Protocol magic: "SV" (SPATE serVe).
+pub const MAGIC: [u8; 2] = [0x53, 0x56];
+/// Protocol version byte.
+pub const VERSION: u8 = 0x01;
+/// Frame header length: magic (2) + version (1) + kind (1) + len (4).
+pub const HEADER_LEN: usize = 8;
+/// Hard payload bound, enforced before allocating.
+pub const MAX_PAYLOAD: usize = 4 << 20;
+/// Rows per streamed response chunk.
+pub const CHUNK_ROWS: usize = 256;
+
+/// Frame kind bytes. Requests use the low range, responses the high.
+pub mod kind {
+    pub const EXPLORE: u8 = 0x01;
+    pub const SQL: u8 = 0x02;
+
+    pub const HEADER: u8 = 0x81;
+    pub const ROW_CHUNK: u8 = 0x82;
+    pub const SUMMARY: u8 = 0x83;
+    pub const COVERAGE: u8 = 0x84;
+    pub const DONE: u8 = 0x85;
+    pub const ERROR: u8 = 0x86;
+    pub const SHED: u8 = 0x87;
+    pub const UNAVAILABLE: u8 = 0x88;
+}
+
+/// Errors decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Fewer bytes than the header/payload claims (incomplete read).
+    Truncated,
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(usize),
+    BadMagic([u8; 2]),
+    BadVersion(u8),
+    BadKind(u8),
+    BadUtf8,
+    /// Unknown value/field tag inside a payload.
+    BadTag(u8),
+    /// Well-formed payload followed by junk bytes.
+    Trailing(usize),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::Oversized(n) => write!(f, "payload length {n} exceeds {MAX_PAYLOAD}"),
+            ProtoError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtoError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag {t:#04x}"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id echoed on every response frame.
+    pub id: u64,
+    pub body: RequestBody,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// `Q(a, b, w)`: attribute selection, bounding box, epoch window.
+    Explore {
+        attributes: Vec<String>,
+        /// `(min_x, min_y, max_x, max_y)` in meters.
+        bbox: (f64, f64, f64, f64),
+        /// Inclusive epoch window.
+        window: (u32, u32),
+    },
+    /// A SPATE-SQL statement scoped to an epoch window.
+    Sql { window: (u32, u32), sql: String },
+}
+
+impl RequestBody {
+    /// The requested epoch window (both request forms carry one).
+    pub fn window(&self) -> (u32, u32) {
+        match self {
+            RequestBody::Explore { window, .. } | RequestBody::Sql { window, .. } => *window,
+        }
+    }
+
+    /// Window length in epochs.
+    pub fn window_len(&self) -> u32 {
+        let (a, b) = self.window();
+        b.saturating_sub(a) + 1
+    }
+}
+
+/// One table announced by a [`ResponseBody::Header`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableHeader {
+    pub name: String,
+    pub columns: Vec<String>,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id this answers.
+    pub id: u64,
+    pub body: ResponseBody,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Announces the result tables; row chunks reference them by index.
+    Header { tables: Vec<TableHeader> },
+    /// Up to [`CHUNK_ROWS`] rows of one table.
+    RowChunk { table: u8, rows: Vec<Vec<Value>> },
+    /// The window decayed past full resolution: a highlights digest.
+    Summary {
+        resolution: String,
+        cdr_records: u64,
+        nms_records: u64,
+        cells: u32,
+    },
+    /// Epoch-level accounting when the answer is partial.
+    Coverage {
+        requested: u32,
+        served: u32,
+        decayed: u32,
+        unavailable: u32,
+    },
+    /// Terminal frame of a successful answer.
+    Done { rows: u64 },
+    /// Admission control rejected the request; retry later.
+    Shed { queue_depth: u32 },
+    /// Terminal failure frame.
+    Error { code: u8, message: String },
+    /// Nothing retained covers the window.
+    Unavailable,
+}
+
+impl ResponseBody {
+    /// Is this the last frame of an answer?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            ResponseBody::Done { .. }
+                | ResponseBody::Shed { .. }
+                | ResponseBody::Error { .. }
+                | ResponseBody::Unavailable
+        )
+    }
+}
+
+/// Error codes carried by [`ResponseBody::Error`].
+pub mod errcode {
+    pub const BAD_REQUEST: u8 = 1;
+    pub const SQL: u8 = 2;
+    pub const INTERNAL: u8 = 3;
+    pub const SHUTTING_DOWN: u8 = 4;
+}
+
+// ---------------------------------------------------------------- writing
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Str(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Float(f) => {
+                self.u8(3);
+                self.f64(*f);
+            }
+        }
+    }
+}
+
+/// Assemble a full frame from a kind byte and payload.
+pub fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "frame payload over bound");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+impl Request {
+    /// Encode as one complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.id);
+        let kind = match &self.body {
+            RequestBody::Explore {
+                attributes,
+                bbox,
+                window,
+            } => {
+                w.u16(attributes.len() as u16);
+                for a in attributes {
+                    w.str(a);
+                }
+                w.f64(bbox.0);
+                w.f64(bbox.1);
+                w.f64(bbox.2);
+                w.f64(bbox.3);
+                w.u32(window.0);
+                w.u32(window.1);
+                kind::EXPLORE
+            }
+            RequestBody::Sql { window, sql } => {
+                w.u32(window.0);
+                w.u32(window.1);
+                w.str(sql);
+                kind::SQL
+            }
+        };
+        frame(kind, &w.buf)
+    }
+
+    /// Decode a payload of the given kind.
+    pub fn decode(kind_byte: u8, payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(payload);
+        let id = r.u64()?;
+        let body = match kind_byte {
+            kind::EXPLORE => {
+                let n = r.u16()? as usize;
+                let mut attributes = Vec::new();
+                for _ in 0..n {
+                    attributes.push(r.str()?);
+                }
+                let bbox = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+                let window = (r.u32()?, r.u32()?);
+                RequestBody::Explore {
+                    attributes,
+                    bbox,
+                    window,
+                }
+            }
+            kind::SQL => {
+                let window = (r.u32()?, r.u32()?);
+                let sql = r.str()?;
+                RequestBody::Sql { window, sql }
+            }
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        r.finish()?;
+        Ok(Request { id, body })
+    }
+}
+
+impl Response {
+    /// Encode as one complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.id);
+        let kind = match &self.body {
+            ResponseBody::Header { tables } => {
+                w.u8(tables.len() as u8);
+                for t in tables {
+                    w.str(&t.name);
+                    w.u16(t.columns.len() as u16);
+                    for c in &t.columns {
+                        w.str(c);
+                    }
+                }
+                kind::HEADER
+            }
+            ResponseBody::RowChunk { table, rows } => {
+                w.u8(*table);
+                w.u16(rows.len() as u16);
+                for row in rows {
+                    w.u16(row.len() as u16);
+                    for v in row {
+                        w.value(v);
+                    }
+                }
+                kind::ROW_CHUNK
+            }
+            ResponseBody::Summary {
+                resolution,
+                cdr_records,
+                nms_records,
+                cells,
+            } => {
+                w.str(resolution);
+                w.u64(*cdr_records);
+                w.u64(*nms_records);
+                w.u32(*cells);
+                kind::SUMMARY
+            }
+            ResponseBody::Coverage {
+                requested,
+                served,
+                decayed,
+                unavailable,
+            } => {
+                w.u32(*requested);
+                w.u32(*served);
+                w.u32(*decayed);
+                w.u32(*unavailable);
+                kind::COVERAGE
+            }
+            ResponseBody::Done { rows } => {
+                w.u64(*rows);
+                kind::DONE
+            }
+            ResponseBody::Shed { queue_depth } => {
+                w.u32(*queue_depth);
+                kind::SHED
+            }
+            ResponseBody::Error { code, message } => {
+                w.u8(*code);
+                w.str(message);
+                kind::ERROR
+            }
+            ResponseBody::Unavailable => kind::UNAVAILABLE,
+        };
+        frame(kind, &w.buf)
+    }
+
+    /// Decode a payload of the given kind.
+    pub fn decode(kind_byte: u8, payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = Reader::new(payload);
+        let id = r.u64()?;
+        let body = match kind_byte {
+            kind::HEADER => {
+                let n = r.u8()? as usize;
+                let mut tables = Vec::new();
+                for _ in 0..n {
+                    let name = r.str()?;
+                    let ncols = r.u16()? as usize;
+                    let mut columns = Vec::new();
+                    for _ in 0..ncols {
+                        columns.push(r.str()?);
+                    }
+                    tables.push(TableHeader { name, columns });
+                }
+                ResponseBody::Header { tables }
+            }
+            kind::ROW_CHUNK => {
+                let table = r.u8()?;
+                let nrows = r.u16()? as usize;
+                let mut rows = Vec::new();
+                for _ in 0..nrows {
+                    let ncols = r.u16()? as usize;
+                    let mut row = Vec::new();
+                    for _ in 0..ncols {
+                        row.push(r.value()?);
+                    }
+                    rows.push(row);
+                }
+                ResponseBody::RowChunk { table, rows }
+            }
+            kind::SUMMARY => ResponseBody::Summary {
+                resolution: r.str()?,
+                cdr_records: r.u64()?,
+                nms_records: r.u64()?,
+                cells: r.u32()?,
+            },
+            kind::COVERAGE => ResponseBody::Coverage {
+                requested: r.u32()?,
+                served: r.u32()?,
+                decayed: r.u32()?,
+                unavailable: r.u32()?,
+            },
+            kind::DONE => ResponseBody::Done { rows: r.u64()? },
+            kind::SHED => ResponseBody::Shed {
+                queue_depth: r.u32()?,
+            },
+            kind::ERROR => ResponseBody::Error {
+                code: r.u8()?,
+                message: r.str()?,
+            },
+            kind::UNAVAILABLE => ResponseBody::Unavailable,
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        r.finish()?;
+        Ok(Response { id, body })
+    }
+}
+
+// ---------------------------------------------------------------- reading
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub kind: u8,
+    pub payload_len: usize,
+}
+
+impl FrameHeader {
+    /// Validate the fixed 8-byte header. The length bound is enforced
+    /// here, before the caller allocates a payload buffer.
+    pub fn parse(bytes: &[u8; HEADER_LEN]) -> Result<Self, ProtoError> {
+        if bytes[0..2] != MAGIC {
+            return Err(ProtoError::BadMagic([bytes[0], bytes[1]]));
+        }
+        if bytes[2] != VERSION {
+            return Err(ProtoError::BadVersion(bytes[2]));
+        }
+        let kind = bytes[3];
+        if !matches!(kind, 0x01..=0x02 | 0x81..=0x88) {
+            return Err(ProtoError::BadKind(kind));
+        }
+        let payload_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+        if payload_len > MAX_PAYLOAD {
+            return Err(ProtoError::Oversized(payload_len));
+        }
+        Ok(Self { kind, payload_len })
+    }
+}
+
+/// Parse one frame out of a byte slice (header + payload). Returns the
+/// frame kind, its payload slice and the total bytes consumed.
+pub fn parse_frame(buf: &[u8]) -> Result<(u8, &[u8], usize), ProtoError> {
+    if buf.len() < HEADER_LEN {
+        return Err(ProtoError::Truncated);
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&buf[..HEADER_LEN]);
+    let h = FrameHeader::parse(&header)?;
+    let total = HEADER_LEN + h.payload_len;
+    if buf.len() < total {
+        return Err(ProtoError::Truncated);
+    }
+    Ok((h.kind, &buf[HEADER_LEN..total], total))
+}
+
+/// Cursor over a payload with bounds-checked reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        // A forged string length can't reach past the (already bounded)
+        // payload, so `take` is the only guard needed — no prealloc.
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn value(&mut self) -> Result<Value, ProtoError> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Str(self.str()?)),
+            2 => Ok(Value::Int(self.i64()?)),
+            3 => Ok(Value::Float(self.f64()?)),
+            t => Err(ProtoError::BadTag(t)),
+        }
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtoError::Trailing(self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        let (k, payload, used) = parse_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(Request::decode(k, payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = resp.encode();
+        let (k, payload, used) = parse_frame(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(Response::decode(k, payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        roundtrip_request(Request {
+            id: 7,
+            body: RequestBody::Explore {
+                attributes: vec!["upflux".into(), "downflux".into()],
+                bbox: (0.0, -1.5, 38_000.0, f64::MAX),
+                window: (3, 9),
+            },
+        });
+        roundtrip_request(Request {
+            id: u64::MAX,
+            body: RequestBody::Sql {
+                window: (0, 47),
+                sql: "SELECT cell_id, SUM(call_drops) FROM NMS GROUP BY cell_id".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        roundtrip_response(Response {
+            id: 1,
+            body: ResponseBody::Header {
+                tables: vec![TableHeader {
+                    name: "CDR".into(),
+                    columns: vec!["upflux".into(), "downflux".into()],
+                }],
+            },
+        });
+        roundtrip_response(Response {
+            id: 2,
+            body: ResponseBody::RowChunk {
+                table: 0,
+                rows: vec![
+                    vec![Value::Int(-4), Value::Null],
+                    vec![Value::Str("DROP".into()), Value::Float(2.5)],
+                ],
+            },
+        });
+        roundtrip_response(Response {
+            id: 3,
+            body: ResponseBody::Coverage {
+                requested: 10,
+                served: 7,
+                decayed: 2,
+                unavailable: 1,
+            },
+        });
+        roundtrip_response(Response {
+            id: 4,
+            body: ResponseBody::Done { rows: 12345 },
+        });
+        roundtrip_response(Response {
+            id: 5,
+            body: ResponseBody::Unavailable,
+        });
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = Request {
+            id: 0,
+            body: RequestBody::Sql {
+                window: (0, 0),
+                sql: "SELECT 1".into(),
+            },
+        }
+        .encode();
+        bytes[4..8].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            parse_frame(&bytes),
+            Err(ProtoError::Oversized(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn truncated_and_trailing_frames_error_cleanly() {
+        let bytes = Response {
+            id: 9,
+            body: ResponseBody::Done { rows: 1 },
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(parse_frame(&bytes[..cut]), Err(ProtoError::Truncated));
+        }
+        // Payload longer than the body decodes to Trailing.
+        let (k, payload, _) = parse_frame(&bytes).unwrap();
+        let mut padded = payload.to_vec();
+        padded.push(0xFF);
+        assert_eq!(Response::decode(k, &padded), Err(ProtoError::Trailing(1)));
+    }
+
+    #[test]
+    fn bad_magic_version_kind_are_rejected() {
+        let good = Request {
+            id: 0,
+            body: RequestBody::Sql {
+                window: (0, 0),
+                sql: String::new(),
+            },
+        }
+        .encode();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(parse_frame(&bad), Err(ProtoError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[2] = 0x7F;
+        assert!(matches!(parse_frame(&bad), Err(ProtoError::BadVersion(_))));
+        let mut bad = good;
+        bad[3] = 0x40;
+        assert!(matches!(parse_frame(&bad), Err(ProtoError::BadKind(0x40))));
+    }
+}

@@ -1,0 +1,826 @@
+//! The multi-client query server.
+//!
+//! One [`Server`] owns a [`SpateFramework`] behind an `RwLock`: query
+//! workers evaluate under shared read guards (the whole read path is
+//! `Send + Sync`, pinned by `spate-core`'s concurrency tests), while
+//! operator mutations — [`Server::ingest`] and [`Server::run_decay`] —
+//! take the write lock. Cache coherence falls out of the lock order: the
+//! framework's [`StoreObserver`] hooks invalidate the shared
+//! [`EpochCache`] *synchronously inside the mutation* (exclusive
+//! access), and workers only insert cache entries while holding a read
+//! guard, so a reader can never re-populate an entry concurrently with
+//! the eviction that dropped it. Zero stale reads, by construction
+//! rather than by TTL.
+//!
+//! Request flow:
+//!
+//! ```text
+//! client ──frame──▶ reader thread ──classify──▶ admission queue
+//!                        │ (overflow)               │ pop
+//!                        ▼                          ▼
+//!                    Shed frame               worker pool ──frames──▶ client
+//! ```
+//!
+//! A per-connection reader thread decodes requests and classifies them
+//! by window length (short = interactive, long = scan); the two-priority
+//! [`AdmissionQueue`] bounds each class and keeps clients fair; workers
+//! pop, shed anything that out-waited its deadline, evaluate through the
+//! cache and stream the answer back in bounded chunks.
+
+use crate::admission::{AdmissionConfig, AdmissionQueue, Class};
+use crate::cache::{CacheConfig, CacheInvalidator, CacheStats, EpochCache};
+use crate::proto::{
+    errcode, Request, RequestBody, Response, ResponseBody, TableHeader, CHUNK_ROWS,
+};
+use crate::transport::{duplex, Endpoint, TransportError};
+use spate_core::framework::{ExplorationFramework, IngestStats, SpaceReport};
+use spate_core::index::Covering;
+use spate_core::query::{project_snapshot_refs, Coverage, ExactResult, Query, QueryResult};
+use spate_core::{DecayReport, SpateFramework};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use telco_trace::cells::{BoundingBox, CellLayout};
+use telco_trace::snapshot::Snapshot;
+use telco_trace::time::EpochId;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission depth of the interactive class.
+    pub interactive_depth: usize,
+    /// Admission depth of the scan class.
+    pub scan_depth: usize,
+    /// Windows of at most this many epochs classify as interactive.
+    pub interactive_max_window: u32,
+    /// Jobs older than this on pop are shed instead of served.
+    pub queue_deadline: Duration,
+    /// Shared epoch cache shards.
+    pub cache_shards: usize,
+    /// Epochs cached per shard.
+    pub cache_capacity_per_shard: usize,
+    /// Warm the cache ahead of each session's window (the serving-tier
+    /// generalization of `ExplorerSession`'s containment trick).
+    pub prefetch: bool,
+    /// Max epochs prefetched ahead of a served window.
+    pub prefetch_lookahead: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            interactive_depth: 64,
+            scan_depth: 16,
+            interactive_max_window: 8,
+            queue_deadline: Duration::from_secs(2),
+            cache_shards: 8,
+            cache_capacity_per_shard: 16,
+            prefetch: true,
+            prefetch_lookahead: 4,
+        }
+    }
+}
+
+/// Counter snapshot of server behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests answered (any terminal frame except shed).
+    pub queries: u64,
+    /// Exact/SQL rows streamed in row chunks.
+    pub rows_streamed: u64,
+    /// Requests rejected at admission (queue overflow).
+    pub shed_overflow: u64,
+    /// Requests shed by workers after out-waiting the deadline.
+    pub shed_deadline: u64,
+    /// Malformed frames received from clients.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    queries: AtomicU64,
+    rows_streamed: AtomicU64,
+    shed_overflow: AtomicU64,
+    shed_deadline: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+struct Job {
+    conn: u64,
+    endpoint: Endpoint,
+    request: Request,
+    queued_at: Instant,
+}
+
+struct Shared {
+    fw: RwLock<SpateFramework>,
+    cache: Arc<EpochCache>,
+    queue: AdmissionQueue<Job>,
+    config: ServeConfig,
+    stats: StatsCells,
+    /// Last served window per connection, for prefetch containment.
+    sessions: Mutex<HashMap<u64, (u32, u32)>>,
+}
+
+/// The serving tier: worker pool + admission queue + shared cache around
+/// one `SpateFramework`.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Server-side endpoints, closed on shutdown to unblock readers.
+    conn_endpoints: Mutex<Vec<Endpoint>>,
+    next_conn: AtomicU64,
+}
+
+impl Server {
+    /// Take ownership of a framework and start serving. The cache
+    /// invalidator is registered before the framework becomes shared, so
+    /// no mutation can ever slip past the cache.
+    pub fn start(mut fw: SpateFramework, config: ServeConfig) -> Self {
+        let cache = Arc::new(EpochCache::new(CacheConfig {
+            shards: config.cache_shards,
+            capacity_per_shard: config.cache_capacity_per_shard,
+        }));
+        fw.add_observer(Arc::new(CacheInvalidator(cache.clone())));
+        let shared = Arc::new(Shared {
+            fw: RwLock::new(fw),
+            cache,
+            queue: AdmissionQueue::new(AdmissionConfig {
+                interactive_depth: config.interactive_depth,
+                scan_depth: config.scan_depth,
+            }),
+            config: config.clone(),
+            stats: StatsCells::default(),
+            sessions: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+            readers: Mutex::new(Vec::new()),
+            conn_endpoints: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        }
+    }
+
+    /// Accept a new client connection; returns the client's endpoint
+    /// wrapper. Spawns the per-connection reader thread.
+    pub fn connect(&self) -> ClientConn {
+        let (client_ep, server_ep) = duplex();
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conn_endpoints.lock().unwrap().push(server_ep.clone());
+        let shared = self.shared.clone();
+        let reader = std::thread::spawn(move || reader_loop(&shared, conn, server_ep));
+        self.readers.lock().unwrap().push(reader);
+        ClientConn {
+            ep: client_ep,
+            next_id: 0,
+        }
+    }
+
+    /// Operator-side ingest: exclusive access; the cache invalidation
+    /// hooks fire inside.
+    pub fn ingest(&self, snapshot: &Snapshot) -> IngestStats {
+        let mut fw = self.shared.fw.write().unwrap();
+        fw.ingest(snapshot)
+    }
+
+    /// Operator-side decay pass at a given "now"; evicted epochs drop
+    /// out of the shared cache before any reader can run again.
+    pub fn run_decay(&self, now: EpochId) -> DecayReport {
+        let mut fw = self.shared.fw.write().unwrap();
+        fw.run_decay(now)
+    }
+
+    /// Current staleness version of the owned framework.
+    pub fn version(&self) -> u64 {
+        self.shared.fw.read().unwrap().version()
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        ServeStats {
+            queries: s.queries.load(Ordering::Relaxed),
+            rows_streamed: s.rows_streamed.load(Ordering::Relaxed),
+            shed_overflow: s.shed_overflow.load(Ordering::Relaxed),
+            shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Graceful shutdown: stop admitting, drain queued work, join the
+    /// pool, hang up every connection. Returns the final stats.
+    pub fn shutdown(self) -> ServeStats {
+        self.shared.queue.close();
+        for w in self.workers.lock().unwrap().drain(..) {
+            let _ = w.join();
+        }
+        for ep in self.conn_endpoints.lock().unwrap().drain(..) {
+            ep.close_both();
+        }
+        for r in self.readers.lock().unwrap().drain(..) {
+            let _ = r.join();
+        }
+        self.stats()
+    }
+}
+
+// ------------------------------------------------------------- reader side
+
+fn classify(config: &ServeConfig, body: &RequestBody) -> Class {
+    if body.window_len() > config.interactive_max_window {
+        Class::Scan
+    } else {
+        Class::Interactive
+    }
+}
+
+fn reader_loop(shared: &Shared, conn: u64, ep: Endpoint) {
+    loop {
+        match ep.recv_request() {
+            Ok(Some(request)) => {
+                let class = classify(&shared.config, &request.body);
+                let id = request.id;
+                let job = Job {
+                    conn,
+                    endpoint: ep.clone(),
+                    request,
+                    queued_at: Instant::now(),
+                };
+                if let Err(shed) = shared.queue.push(conn, class, job) {
+                    shared.stats.shed_overflow.fetch_add(1, Ordering::Relaxed);
+                    let _ = ep.send_response(&Response {
+                        id,
+                        body: ResponseBody::Shed {
+                            queue_depth: shed.queue_depth,
+                        },
+                    });
+                }
+            }
+            Ok(None) => break, // client hung up cleanly
+            Err(TransportError::Closed) => break,
+            Err(TransportError::Proto(e)) => {
+                // A malformed frame poisons the byte stream (we can no
+                // longer find the next frame boundary): report and drop
+                // the connection rather than guessing.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                obs::inc("serve.protocol_errors");
+                let _ = ep.send_response(&Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        code: errcode::BAD_REQUEST,
+                        message: e.to_string(),
+                    },
+                });
+                ep.close();
+                break;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- worker side
+
+fn worker_loop(shared: &Shared) {
+    while let Some((_client, class, job)) = shared.queue.pop() {
+        if job.queued_at.elapsed() > shared.config.queue_deadline {
+            shared.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            obs::inc("serve.shed.deadline");
+            let _ = job.endpoint.send_response(&Response {
+                id: job.request.id,
+                body: ResponseBody::Shed {
+                    queue_depth: shared.queue.depth() as u32,
+                },
+            });
+            continue;
+        }
+        serve_one(shared, class, job);
+    }
+}
+
+fn serve_one(shared: &Shared, class: Class, job: Job) {
+    let _span = obs::span("serve.request");
+    let t0 = Instant::now();
+    let id = job.request.id;
+    let sent = match &job.request.body {
+        RequestBody::Explore {
+            attributes,
+            bbox,
+            window,
+        } => serve_explore(
+            shared,
+            &job.endpoint,
+            id,
+            job.conn,
+            attributes,
+            *bbox,
+            *window,
+        ),
+        RequestBody::Sql { window, sql } => serve_sql(shared, &job.endpoint, id, *window, sql),
+    };
+    // A send error means the client vanished mid-answer; nothing to do.
+    let _ = sent;
+    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+    obs::inc("serve.queries");
+    let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    match class {
+        Class::Interactive => obs::observe("serve.latency_us.interactive", micros),
+        Class::Scan => obs::observe("serve.latency_us.scan", micros),
+    }
+}
+
+fn serve_explore(
+    shared: &Shared,
+    ep: &Endpoint,
+    id: u64,
+    conn: u64,
+    attributes: &[String],
+    bbox: (f64, f64, f64, f64),
+    window: (u32, u32),
+) -> Result<(), TransportError> {
+    if window.0 > window.1 || bbox.0 > bbox.2 || bbox.1 > bbox.3 {
+        return send_error(ep, id, errcode::BAD_REQUEST, "inverted window or bbox");
+    }
+    let attrs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+    let q = Query::new(&attrs, BoundingBox::new(bbox.0, bbox.1, bbox.2, bbox.3))
+        .with_epoch_range(window.0, window.1);
+    let result = {
+        let fw = shared.fw.read().unwrap();
+        let result = evaluate_cached(&fw, &shared.cache, &q);
+        if shared.config.prefetch {
+            prefetch(shared, conn, window, &fw);
+        }
+        result
+        // Read guard drops here: streaming happens without holding the
+        // framework, so a slow client never blocks ingest/decay.
+    };
+    match result {
+        QueryResult::Exact(exact) => stream_exact(shared, ep, id, &exact, None),
+        QueryResult::Partial {
+            result, coverage, ..
+        } => stream_exact(shared, ep, id, &result, Some(coverage)),
+        QueryResult::Summary {
+            resolution,
+            highlights,
+        } => {
+            ep.send_response(&Response {
+                id,
+                body: ResponseBody::Summary {
+                    resolution: resolution.label().to_string(),
+                    cdr_records: highlights.cdr_records,
+                    nms_records: highlights.nms_records,
+                    cells: highlights.per_cell.len() as u32,
+                },
+            })?;
+            ep.send_response(&Response {
+                id,
+                body: ResponseBody::Done { rows: 0 },
+            })
+        }
+        QueryResult::Unavailable => ep.send_response(&Response {
+            id,
+            body: ResponseBody::Unavailable,
+        }),
+    }
+}
+
+fn serve_sql(
+    shared: &Shared,
+    ep: &Endpoint,
+    id: u64,
+    window: (u32, u32),
+    sql: &str,
+) -> Result<(), TransportError> {
+    if window.0 > window.1 {
+        return send_error(ep, id, errcode::BAD_REQUEST, "inverted window");
+    }
+    let outcome = {
+        let fw = shared.fw.read().unwrap();
+        let view = CachedView {
+            fw: &fw,
+            cache: &shared.cache,
+        };
+        spate_sql::execute_over(&view, EpochId(window.0), EpochId(window.1), sql)
+    };
+    match outcome {
+        Ok(rs) => {
+            ep.send_response(&Response {
+                id,
+                body: ResponseBody::Header {
+                    tables: vec![TableHeader {
+                        name: "RESULT".into(),
+                        columns: rs.columns.clone(),
+                    }],
+                },
+            })?;
+            let total = rs.rows.len() as u64;
+            for chunk in rs.rows.chunks(CHUNK_ROWS) {
+                ep.send_response(&Response {
+                    id,
+                    body: ResponseBody::RowChunk {
+                        table: 0,
+                        rows: chunk.to_vec(),
+                    },
+                })?;
+            }
+            shared
+                .stats
+                .rows_streamed
+                .fetch_add(total, Ordering::Relaxed);
+            obs::add("serve.rows_streamed", total);
+            ep.send_response(&Response {
+                id,
+                body: ResponseBody::Done { rows: total },
+            })
+        }
+        Err(e) => send_error(ep, id, errcode::SQL, &e.to_string()),
+    }
+}
+
+fn send_error(ep: &Endpoint, id: u64, code: u8, message: &str) -> Result<(), TransportError> {
+    obs::inc("serve.request_errors");
+    ep.send_response(&Response {
+        id,
+        body: ResponseBody::Error {
+            code,
+            message: message.to_string(),
+        },
+    })
+}
+
+/// Stream an exact/partial result: header, CDR chunks, NMS chunks,
+/// optional coverage, done.
+fn stream_exact(
+    shared: &Shared,
+    ep: &Endpoint,
+    id: u64,
+    exact: &ExactResult,
+    coverage: Option<Coverage>,
+) -> Result<(), TransportError> {
+    ep.send_response(&Response {
+        id,
+        body: ResponseBody::Header {
+            tables: vec![
+                TableHeader {
+                    name: "CDR".into(),
+                    columns: exact.cdr.column_names.clone(),
+                },
+                TableHeader {
+                    name: "NMS".into(),
+                    columns: exact.nms.column_names.clone(),
+                },
+            ],
+        },
+    })?;
+    for (table, slice) in [(0u8, &exact.cdr), (1u8, &exact.nms)] {
+        for chunk in slice.rows.chunks(CHUNK_ROWS) {
+            ep.send_response(&Response {
+                id,
+                body: ResponseBody::RowChunk {
+                    table,
+                    rows: chunk.to_vec(),
+                },
+            })?;
+        }
+    }
+    if let Some(c) = coverage {
+        ep.send_response(&Response {
+            id,
+            body: ResponseBody::Coverage {
+                requested: c.requested,
+                served: c.served,
+                decayed: c.decayed,
+                unavailable: c.unavailable,
+            },
+        })?;
+    }
+    let total = (exact.cdr.rows.len() + exact.nms.rows.len()) as u64;
+    shared
+        .stats
+        .rows_streamed
+        .fetch_add(total, Ordering::Relaxed);
+    obs::add("serve.rows_streamed", total);
+    ep.send_response(&Response {
+        id,
+        body: ResponseBody::Done { rows: total },
+    })
+}
+
+/// Warm the cache ahead of this session's window. `ExplorerSession`
+/// exploits *containment* (zoom-ins re-use the cached wide window); the
+/// serving-tier generalization adds *look-ahead*: after serving
+/// `[a, b]`, the epochs just past `b` are decompressed into the shared
+/// cache, betting on the pan-forward exploration pattern. Skipped when
+/// the window is contained in the session's previous one (zoom-in — the
+/// cache is already warm there).
+fn prefetch(shared: &Shared, conn: u64, window: (u32, u32), fw: &SpateFramework) {
+    let contained = {
+        let mut sessions = shared.sessions.lock().unwrap();
+        let prev = sessions.insert(conn, window);
+        prev.is_some_and(|(a, b)| a <= window.0 && window.1 <= b)
+    };
+    if contained {
+        return;
+    }
+    let Some(last) = fw.index().last_epoch() else {
+        return;
+    };
+    let ahead = shared
+        .config
+        .prefetch_lookahead
+        .min(window.1.saturating_sub(window.0) + 1);
+    let from = window.1.saturating_add(1);
+    let to = window.1.saturating_add(ahead).min(last.0);
+    for e in from..=to {
+        let epoch = EpochId(e);
+        if shared.cache.get(epoch).is_none() {
+            if let Some(snap) = fw.load_epoch(epoch) {
+                shared.cache.insert(epoch, Arc::new(snap));
+                obs::inc("serve.prefetch");
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- evaluation
+
+/// The cache-aware twin of `SpateFramework::query`: identical covering
+/// semantics, but exact-branch epochs are resolved through the shared
+/// cache and projected straight out of `Arc<Snapshot>` entries. Must be
+/// called under the framework read lock (cache coherence contract).
+fn evaluate_cached(fw: &SpateFramework, cache: &EpochCache, q: &Query) -> QueryResult {
+    let _span = obs::span("serve.evaluate");
+    match fw.index().find_covering(q.window.0, q.window.1) {
+        Covering::Exact(leaves) => {
+            let requested = leaves.len() as u32;
+            let mut arcs: Vec<Arc<Snapshot>> = Vec::with_capacity(leaves.len());
+            let mut unavailable = 0u32;
+            for leaf in &leaves {
+                if let Some(hit) = cache.get(leaf.epoch) {
+                    arcs.push(hit);
+                } else {
+                    match fw.load_epoch(leaf.epoch) {
+                        Some(snap) => {
+                            let arc = Arc::new(snap);
+                            cache.insert(leaf.epoch, arc.clone());
+                            arcs.push(arc);
+                        }
+                        None => unavailable += 1,
+                    }
+                }
+            }
+            let result = project_snapshot_refs(arcs.iter().map(Arc::as_ref), q, fw.layout());
+            if unavailable == 0 {
+                QueryResult::Exact(result)
+            } else {
+                QueryResult::Partial {
+                    result,
+                    coverage: Coverage {
+                        requested,
+                        served: requested - unavailable,
+                        decayed: 0,
+                        unavailable,
+                    },
+                }
+            }
+        }
+        Covering::Summary {
+            resolution,
+            highlights,
+        } => {
+            let cells: HashSet<u32> = fw.layout().cells_in(&q.bbox).into_iter().collect();
+            QueryResult::Summary {
+                resolution,
+                highlights: highlights.filter_cells(&cells),
+            }
+        }
+        Covering::Unavailable => QueryResult::Unavailable,
+    }
+}
+
+/// Read-only [`ExplorationFramework`] view routing `load_epoch`/`scan`
+/// through the shared cache — how the SQL executor (which materializes
+/// tables via `scan`) shares cached decompressions with the explore
+/// path. Holds the framework read guard for its lifetime by borrowing.
+struct CachedView<'a> {
+    fw: &'a SpateFramework,
+    cache: &'a EpochCache,
+}
+
+impl ExplorationFramework for CachedView<'_> {
+    fn name(&self) -> &'static str {
+        "SPATE-serve"
+    }
+
+    fn layout(&self) -> &CellLayout {
+        self.fw.layout()
+    }
+
+    fn ingest(&mut self, _snapshot: &Snapshot) -> IngestStats {
+        unreachable!("the serving view is read-only; ingest goes through Server::ingest")
+    }
+
+    fn space(&self) -> SpaceReport {
+        self.fw.space()
+    }
+
+    fn load_epoch(&self, epoch: EpochId) -> Option<Snapshot> {
+        if let Some(hit) = self.cache.get(epoch) {
+            return Some((*hit).clone());
+        }
+        let snap = self.fw.load_epoch(epoch)?;
+        self.cache.insert(epoch, Arc::new(snap.clone()));
+        Some(snap)
+    }
+
+    fn query(&self, q: &Query) -> QueryResult {
+        evaluate_cached(self.fw, self.cache, q)
+    }
+
+    fn version(&self) -> u64 {
+        self.fw.version()
+    }
+}
+
+// ------------------------------------------------------------- client side
+
+/// Client-side terminal outcome of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Exact (or partial, when `coverage` is set) rows, per table.
+    Rows {
+        tables: Vec<TableHeader>,
+        /// Row chunks reassembled, indexed like `tables`.
+        rows: Vec<Vec<Vec<telco_trace::record::Value>>>,
+        coverage: Option<Coverage>,
+        total_rows: u64,
+    },
+    /// Highlights digest of a decayed window.
+    Summary {
+        resolution: String,
+        cdr_records: u64,
+        nms_records: u64,
+        cells: u32,
+    },
+    /// Load-shed; retry later.
+    Shed {
+        queue_depth: u32,
+    },
+    Unavailable,
+    /// Server-side failure.
+    ServerError {
+        code: u8,
+        message: String,
+    },
+}
+
+impl Reply {
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Reply::Shed { .. })
+    }
+
+    /// Exact rows carried (0 for summaries/sheds).
+    pub fn total_rows(&self) -> u64 {
+        match self {
+            Reply::Rows { total_rows, .. } => *total_rows,
+            _ => 0,
+        }
+    }
+}
+
+/// A client connection: synchronous request/reply over the duplex
+/// channel. One request in flight at a time (the protocol supports
+/// pipelining; this convenience wrapper doesn't need it).
+pub struct ClientConn {
+    ep: Endpoint,
+    next_id: u64,
+}
+
+impl ClientConn {
+    /// Run an exploration query `Q(a, b, w)`.
+    pub fn explore(
+        &mut self,
+        attributes: &[&str],
+        bbox: BoundingBox,
+        window: (u32, u32),
+    ) -> Result<Reply, TransportError> {
+        let body = RequestBody::Explore {
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+            bbox: (bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y),
+            window,
+        };
+        self.roundtrip(body)
+    }
+
+    /// Run a SPATE-SQL statement over a window.
+    pub fn sql(&mut self, window: (u32, u32), sql: &str) -> Result<Reply, TransportError> {
+        self.roundtrip(RequestBody::Sql {
+            window,
+            sql: sql.to_string(),
+        })
+    }
+
+    fn roundtrip(&mut self, body: RequestBody) -> Result<Reply, TransportError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.ep.send_request(&Request { id, body })?;
+
+        let mut tables: Vec<TableHeader> = Vec::new();
+        let mut rows: Vec<Vec<Vec<telco_trace::record::Value>>> = Vec::new();
+        let mut coverage: Option<Coverage> = None;
+        loop {
+            let Some(resp) = self.ep.recv_response()? else {
+                return Err(TransportError::Closed);
+            };
+            if resp.id != id {
+                // Not ours (stale frame from an aborted request); the
+                // synchronous wrapper never has two in flight, so this
+                // is a protocol violation.
+                return Err(TransportError::Proto(crate::proto::ProtoError::BadTag(0)));
+            }
+            match resp.body {
+                ResponseBody::Header { tables: t } => {
+                    rows = t.iter().map(|_| Vec::new()).collect();
+                    tables = t;
+                }
+                ResponseBody::RowChunk { table, rows: chunk } => {
+                    if let Some(bucket) = rows.get_mut(table as usize) {
+                        bucket.extend(chunk);
+                    }
+                }
+                ResponseBody::Coverage {
+                    requested,
+                    served,
+                    decayed,
+                    unavailable,
+                } => {
+                    coverage = Some(Coverage {
+                        requested,
+                        served,
+                        decayed,
+                        unavailable,
+                    });
+                }
+                ResponseBody::Summary {
+                    resolution,
+                    cdr_records,
+                    nms_records,
+                    cells,
+                } => {
+                    // Terminal Done follows; keep reading.
+                    let done = self.ep.recv_response()?;
+                    debug_assert!(matches!(
+                        done,
+                        Some(Response {
+                            body: ResponseBody::Done { .. },
+                            ..
+                        })
+                    ));
+                    return Ok(Reply::Summary {
+                        resolution,
+                        cdr_records,
+                        nms_records,
+                        cells,
+                    });
+                }
+                ResponseBody::Done { rows: total_rows } => {
+                    return Ok(Reply::Rows {
+                        tables,
+                        rows,
+                        coverage,
+                        total_rows,
+                    });
+                }
+                ResponseBody::Shed { queue_depth } => return Ok(Reply::Shed { queue_depth }),
+                ResponseBody::Error { code, message } => {
+                    return Ok(Reply::ServerError { code, message })
+                }
+                ResponseBody::Unavailable => return Ok(Reply::Unavailable),
+            }
+        }
+    }
+
+    /// Hang up. The server's reader thread for this connection exits.
+    pub fn close(self) {
+        self.ep.close();
+    }
+}

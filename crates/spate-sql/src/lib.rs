@@ -37,3 +37,16 @@ pub fn query(ctx: &SqlContext<'_>, sql: &str) -> Result<ResultSet, SqlError> {
     let stmt = parser::parse(sql).map_err(SqlError::Parse)?;
     exec::execute(ctx, &stmt)
 }
+
+/// One-call entry point for embedders (the serving tier, notebooks):
+/// bind a framework and a window, parse, execute. Equivalent to building
+/// an [`SqlContext`] by hand, without the borrow gymnastics at call
+/// sites that only run a single statement.
+pub fn execute_over(
+    fw: &dyn spate_core::framework::ExplorationFramework,
+    start: telco_trace::time::EpochId,
+    end: telco_trace::time::EpochId,
+    sql: &str,
+) -> Result<ResultSet, SqlError> {
+    SqlContext::new(fw, start, end).query(sql)
+}

@@ -15,6 +15,7 @@
 //! | [`engine`] | `engine` | Partitioned parallel compute + k-means / OLS / colStats (Spark-class) |
 //! | [`shahed`] | `shahed` | The SHAHED spatio-temporal aggregate index baseline |
 //! | [`sql`] | `spate-sql` | SPATE-SQL: SELECT-FROM-WHERE over the compressed store |
+//! | [`serve`] | `spate-serve` | Multi-client serving tier: frame protocol, admission, shared epoch cache |
 //! | [`privacy`] | `privacy` | k-anonymity with generalization lattices (ARX-class) |
 //!
 //! # Quickstart
@@ -45,5 +46,6 @@ pub use engine;
 pub use privacy;
 pub use shahed;
 pub use spate_core as core;
+pub use spate_serve as serve;
 pub use spate_sql as sql;
 pub use telco_trace as trace;
