@@ -10,6 +10,7 @@
 //! | [`ingest_experiment`] | Figs. 7–10 — ingestion time & disk space by day period and weekday |
 //! | [`response_experiment`] | Figs. 11–12 — response time of tasks T1–T8 on RAW/SHAHED/SPATE |
 //! | [`serve_experiment`] | `repro serve` — concurrent serving tier under mid-run decay (no paper counterpart) |
+//! | [`trace_experiment`] | `repro trace` — one request traced end-to-end, cold vs warm (no paper counterpart) |
 
 pub mod experiments;
 pub mod serve_bench;
@@ -19,5 +20,5 @@ pub use experiments::{
     chaos_experiment, fig4_entropy, ingest_experiment, response_experiment, table1_codecs,
     ChaosReport, CodecRow, EntropyReport, IngestReport, ResponseReport,
 };
-pub use serve_bench::{serve_experiment, ServeReport};
+pub use serve_bench::{serve_experiment, trace_experiment, ServeReport, TraceReport};
 pub use setup::{build_frameworks, BenchConfig, Frameworks};

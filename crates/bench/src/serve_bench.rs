@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use spate_core::framework::ExplorationFramework;
 use spate_core::framework::SpateFramework;
 use spate_core::DecayPolicy;
-use spate_serve::{CacheStats, Reply, ServeConfig, Server};
+use spate_serve::{CacheStats, Reply, ServeConfig, Server, StatsFrame, TraceFrame};
 use std::sync::{Arc, Barrier};
 use telco_trace::cells::BoundingBox;
 use telco_trace::record::Value;
@@ -52,6 +52,15 @@ pub struct ServeReport {
     /// Phase-2 replies over the decayed day that still carried rows.
     pub stale_reads: u64,
     pub protocol_errors: u64,
+    /// Meta-highlights self-monitoring: the monitor is ticked at fixed
+    /// workload boundaries, so the tick count is a constant of the
+    /// scenario and a fault-free run reports exactly zero deterministic
+    /// anomalies (both diffed by CI). `anomalies_total` may also count
+    /// timing-stream advisories (shed storms are expected here) and is
+    /// reported but never diffed.
+    pub meta_ticks: u64,
+    pub anomalies_total: u64,
+    pub anomalies_deterministic: u64,
     // ---- timing-dependent below ----
     pub shed_overflow: u64,
     pub shed_deadline: u64,
@@ -61,6 +70,10 @@ pub struct ServeReport {
     pub decay_invalidations: u64,
     pub prefetches: u64,
     pub wall_secs: f64,
+    /// Live introspection frames fetched over the wire just before
+    /// shutdown — what `repro serve --introspect` prints.
+    pub introspect_stats: StatsFrame,
+    pub introspect_trace: TraceFrame,
 }
 
 impl ServeReport {
@@ -74,19 +87,22 @@ impl ServeReport {
     }
 }
 
-fn quantiles(name: &str) -> (u64, u64, u64) {
-    let h = obs::global().histogram(name);
-    (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
-}
-
 /// Latency percentiles in microseconds for one admission class, read
-/// back from the `serve.latency_us.*` histograms the server populates.
+/// back from the labeled `serve.latency_us{class="..."}` histogram the
+/// server populates (one metric name, one label — not a mangled name
+/// per class).
 pub fn latency_us(class: &str) -> (u64, u64, u64) {
-    quantiles(&format!("serve.latency_us.{class}"))
+    let h = obs::global().histogram_labeled("serve.latency_us", &[("class", class)]);
+    (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
 }
 
 /// Drive the full two-phase scenario and collect the report.
 pub fn serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> ServeReport {
+    // One experiment = one measurement window. Clearing the registry and
+    // flight recorder up front makes every metric-derived report field
+    // (prefetch count, latency quantiles, the meta monitor's sampling
+    // windows) describe this run only.
+    obs::reset();
     let day = EPOCHS_PER_DAY;
     let mut trace_config = TraceConfig::scaled(config.scale);
     trace_config.days = 3;
@@ -119,9 +135,16 @@ pub fn serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> Serv
     }
 
     barrier.wait(); // all clients finished phase 1
+                    // Meta-monitor ticks happen at workload boundaries (the clients are
+                    // parked on barriers), so the tick count is a constant of the
+                    // scenario: 2 after phase 1, 1 after the decay ingest, 2 after
+                    // phase 2 — five per run, diffable.
+    server.monitor_tick();
+    server.monitor_tick();
     let invalidated_before = server.cache_stats().invalidations;
     server.ingest(&snaps[2 * day as usize]); // day 2 arrives → day 0 decays
     let decay_invalidations = server.cache_stats().invalidations - invalidated_before;
+    server.monitor_tick();
     barrier.wait(); // release phase 2
 
     let mut report = ServeReport {
@@ -135,6 +158,9 @@ pub fn serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> Serv
         counts_agree: true,
         stale_reads: 0,
         protocol_errors: 0,
+        meta_ticks: 0,
+        anomalies_total: 0,
+        anomalies_deterministic: 0,
         shed_overflow: 0,
         shed_deadline: 0,
         shed_retries: 0,
@@ -142,6 +168,8 @@ pub fn serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> Serv
         decay_invalidations,
         prefetches: 0,
         wall_secs: 0.0,
+        introspect_stats: StatsFrame::default(),
+        introspect_trace: TraceFrame::default(),
     };
     for h in handles {
         let c = h.join().expect("serve client panicked");
@@ -159,6 +187,21 @@ pub fn serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> Serv
     report.cache = server.cache_stats();
     report.prefetches = obs::global().counter("serve.prefetch").get();
 
+    server.monitor_tick();
+    server.monitor_tick();
+    let meta = server.meta_summary();
+    report.meta_ticks = meta.ticks;
+    report.anomalies_total = meta.anomalies_total;
+    report.anomalies_deterministic = meta.anomalies_deterministic;
+
+    // Live introspection over the wire — the same control frames any
+    // client could send mid-run. Stats and Trace are answered on the
+    // reader thread, so this works even while workers are saturated.
+    let mut probe = server.connect();
+    report.introspect_stats = probe.stats().expect("stats frame");
+    report.introspect_trace = probe.trace(0).expect("trace frame");
+    probe.close();
+
     let server = Arc::into_inner(server).expect("clients still hold server handles");
     let stats = server.shutdown();
     report.queries = stats.queries;
@@ -167,6 +210,112 @@ pub fn serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> Serv
     report.shed_overflow = stats.shed_overflow;
     report.shed_deadline = stats.shed_deadline;
     report
+}
+
+/// Output of `repro trace`: one fully-traced cold request, its warm
+/// re-read, and the flight-recorder exports that explain them.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    pub seed: u64,
+    /// The traced window `(a, b)`.
+    pub window: (u32, u32),
+    /// Cold request: every epoch in the window misses the cache.
+    pub cold: TraceFrame,
+    /// Same window again: every epoch hits.
+    pub warm: TraceFrame,
+    /// Live stats frame captured after both requests.
+    pub stats: StatsFrame,
+    /// Chrome `trace_event` JSON for the cold request (open in
+    /// `chrome://tracing` / Perfetto).
+    pub chrome_json: String,
+    pub wall_secs: f64,
+}
+
+/// Render one wire trace as deterministic, diffable lines: span ids are
+/// rewritten to their index inside the trace (absolute ids come from a
+/// process-global counter) and durations are omitted. Structure, names
+/// and args are a pure function of the seeded workload.
+pub fn trace_lines(frame: &TraceFrame) -> Vec<String> {
+    let mut index = std::collections::HashMap::new();
+    for s in &frame.spans {
+        if s.span_id != 0 && !index.contains_key(&s.span_id) {
+            index.insert(s.span_id, index.len() + 1);
+        }
+    }
+    frame
+        .spans
+        .iter()
+        .map(|s| {
+            let own = index.get(&s.span_id).copied().unwrap_or(0);
+            let parent = index.get(&s.parent_id).copied().unwrap_or(0);
+            let kind = if s.instant { "instant" } else { "span" };
+            let args: String = s.args.iter().map(|(k, v)| format!(" {k}={v}")).collect();
+            format!("{kind} #{own} parent=#{parent} {}{args}", s.name)
+        })
+        .collect()
+}
+
+/// Deterministic single-request tracing scenario (`repro trace`): one
+/// worker, prefetch off, a seeded window explored cold then warm. The
+/// resulting span trees answer "why was request R slow" — the cold
+/// trace shows one `cache.miss` per window epoch with the decompress /
+/// parse / index work under it, the warm trace shows only hits.
+pub fn trace_experiment(config: &BenchConfig, seed: u64) -> TraceReport {
+    obs::reset();
+    let mut trace_config = TraceConfig::scaled(config.scale);
+    trace_config.days = 1;
+    let mut generator = TraceGenerator::new(trace_config);
+    let layout = generator.layout().clone();
+    let snaps: Vec<Snapshot> = (&mut generator).take(6).collect();
+    let mut fw = SpateFramework::in_memory(layout);
+    for s in &snaps {
+        fw.ingest(s);
+    }
+
+    let started = std::time::Instant::now();
+    let server = Server::start(
+        fw,
+        ServeConfig {
+            workers: 1,
+            prefetch: false, // keep the cold span tree minimal and exact
+            ..ServeConfig::default()
+        },
+    );
+    let mut conn = server.connect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = rng.gen_range(0..3u32);
+    let window = (start, start + 3);
+
+    let explore = |conn: &mut spate_serve::ClientConn| match conn
+        .explore(&["upflux", "downflux"], BoundingBox::everything(), window)
+        .expect("transport failed")
+    {
+        Reply::Rows { .. } => {}
+        other => panic!("trace scenario expected rows, got {other:?}"),
+    };
+    explore(&mut conn);
+    let cold_id = conn.last_trace_id().expect("request sent");
+    explore(&mut conn);
+    let warm_id = conn.last_trace_id().expect("request sent");
+
+    server.monitor_tick();
+    let cold = conn.trace(cold_id).expect("cold trace");
+    let warm = conn.trace(warm_id).expect("warm trace");
+    let stats = conn.stats().expect("stats frame");
+    let chrome_json = obs::export::chrome_trace(&obs::flight().trace(cold_id));
+    conn.close();
+    server.shutdown();
+
+    TraceReport {
+        seed,
+        window,
+        cold,
+        warm,
+        stats,
+        chrome_json,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
 }
 
 struct ClientOutcome {

@@ -123,7 +123,10 @@ pub struct FreqTable {
 }
 
 impl FreqTable {
-    fn add(&mut self, value: String) {
+    /// Count one occurrence of `value`. Public because the table is also
+    /// the detector the meta-highlights self-monitor ([`crate::meta`])
+    /// feeds system-telemetry categories through.
+    pub fn add(&mut self, value: String) {
         *self.counts.entry(value).or_insert(0) += 1;
         self.total += 1;
     }
@@ -142,6 +145,32 @@ impl FreqTable {
         } else {
             self.counts.get(value).copied().unwrap_or(0) as f64 / self.total as f64
         }
+    }
+
+    /// The most frequent value (ties broken lexicographically smallest,
+    /// for determinism), or `None` on an empty table.
+    pub fn modal(&self) -> Option<(&str, u64)> {
+        self.counts
+            .iter()
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then(vb.cmp(va)))
+            .map(|(v, c)| (v.as_str(), *c))
+    }
+
+    /// The θ-rarity rule of [`Highlights::events`] applied to this table
+    /// alone: `(value, count, share)` for every value whose relative
+    /// occurrence frequency is below `theta`, rarest first.
+    pub fn rare_values(&self, theta: f64) -> Vec<(String, u64, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(String, u64, f64)> = self
+            .counts
+            .iter()
+            .map(|(v, &c)| (v.clone(), c, c as f64 / self.total as f64))
+            .filter(|(_, _, share)| *share < theta)
+            .collect();
+        out.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(a.0.cmp(&b.0)));
+        out
     }
 }
 
@@ -280,19 +309,13 @@ impl Highlights {
         let schema = Schema::cdr();
         let mut out = Vec::new();
         for (table, &col) in self.attr_freqs.iter().zip(&config.categorical_attrs) {
-            if table.total == 0 {
-                continue;
-            }
-            for (value, &count) in &table.counts {
-                let share = count as f64 / table.total as f64;
-                if share < theta {
-                    out.push(HighlightEvent {
-                        attribute: schema.column_name(col).to_string(),
-                        value: value.clone(),
-                        count,
-                        share,
-                    });
-                }
+            for (value, count, share) in table.rare_values(theta) {
+                out.push(HighlightEvent {
+                    attribute: schema.column_name(col).to_string(),
+                    value,
+                    count,
+                    share,
+                });
             }
         }
         out.sort_by(|a, b| a.share.partial_cmp(&b.share).unwrap());

@@ -50,6 +50,7 @@
 pub mod delta_store;
 pub mod framework;
 pub mod index;
+pub mod meta;
 pub mod query;
 pub mod session;
 pub mod storage;
@@ -63,6 +64,7 @@ pub use framework::{
 pub use index::decay::{DecayPolicy, DecayReport};
 pub use index::highlights::{HighlightConfig, Highlights};
 pub use index::TemporalIndex;
+pub use meta::{AnomalyRecord, MetaConfig, MetaMonitor, MetaSummary, StreamKind};
 pub use query::{Coverage, Query, QueryResult};
 pub use session::ExplorerSession;
 pub use storage::SnapshotStore;

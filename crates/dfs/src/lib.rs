@@ -525,11 +525,13 @@ impl Dfs {
         let inner = &self.inner;
         if let Some(cached) = inner.cache.get(path) {
             obs::inc("dfs.cache.hits");
+            obs::trace::event("dfs.cache.hit", &[("path", path)]);
             obs::add("dfs.read.bytes", cached.len() as u64);
             inner.metrics.record_read(cached.len() as u64);
             return Ok(cached.as_ref().clone());
         }
         obs::inc("dfs.cache.misses");
+        obs::trace::event("dfs.cache.miss", &[("path", path)]);
         let (len, blocks) = {
             let ns = inner.namespace.read();
             let meta = ns
@@ -610,6 +612,15 @@ impl Dfs {
                         .checksum_mismatches
                         .fetch_add(1, Ordering::Relaxed);
                     obs::inc("dfs.fault.checksum_mismatches");
+                    if obs::trace::current().is_some() {
+                        obs::trace::event(
+                            "dfs.checksum_mismatch",
+                            &[
+                                ("block", &block_id.to_string()),
+                                ("replica", &dn.to_string()),
+                            ],
+                        );
+                    }
                     inner.namespace.write().corrupt.insert((block_id, dn));
                     saw_corrupt = true;
                     continue;
@@ -621,6 +632,15 @@ impl Dfs {
                         .read_failovers
                         .fetch_add(1, Ordering::Relaxed);
                     obs::inc("dfs.fault.read_failovers");
+                    if obs::trace::current().is_some() {
+                        obs::trace::event(
+                            "dfs.read_failover",
+                            &[
+                                ("block", &block_id.to_string()),
+                                ("replica", &dn.to_string()),
+                            ],
+                        );
+                    }
                 }
                 if attempt > 0 {
                     inner
@@ -641,6 +661,15 @@ impl Dfs {
                     .retry_attempts
                     .fetch_add(1, Ordering::Relaxed);
                 obs::inc("dfs.retry.attempts");
+                if obs::trace::current().is_some() {
+                    obs::trace::event(
+                        "dfs.retry",
+                        &[
+                            ("block", &block_id.to_string()),
+                            ("attempt", &(attempt + 1).to_string()),
+                        ],
+                    );
+                }
                 spin_sleep(retry.backoff(attempt));
                 attempt += 1;
                 continue;

@@ -1,5 +1,7 @@
-//! Exporters: Prometheus-style text dump, sorted flame table, and JSON.
+//! Exporters: Prometheus-style text dump, sorted flame table, JSON, and
+//! flight-recorder views (Chrome `trace_event` JSON, per-trace tree).
 
+use crate::flight::{EventKind, SpanEvent};
 use crate::registry::Registry;
 use crate::span::SpanStats;
 use std::fmt::Write as _;
@@ -19,33 +21,85 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label *value* per the exposition format: backslash, double
+/// quote and line feed. (Label names are sanitized like metric names.)
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label set (plus an optional extra label) as `{k="v",...}`,
+/// or the empty string when there is nothing to render.
+fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut items: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), prom_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        items.push(format!("{k}=\"{}\"", prom_label_value(v)));
+    }
+    if items.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", items.join(","))
+    }
+}
+
 /// Prometheus-style text exposition of every counter, gauge, histogram
-/// and span in the registry.
+/// and span in the registry: `# HELP` / `# TYPE` once per family, label
+/// values escaped, so real scrapers parse it.
 pub fn prometheus_text(registry: &Registry) -> String {
     let mut out = String::new();
     for (name, c) in registry.counters_snapshot() {
         let n = prom_name(&name);
+        let _ = writeln!(out, "# HELP {n} Workspace counter `{name}`.");
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {}", c.get());
     }
     for (name, g) in registry.gauges_snapshot() {
         let n = prom_name(&name);
+        let _ = writeln!(out, "# HELP {n} Workspace gauge `{name}`.");
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {}", g.get());
     }
-    for (name, h) in registry.histograms_snapshot() {
-        let n = prom_name(&name);
-        let s = h.snapshot();
-        let _ = writeln!(out, "# TYPE {n} summary");
-        for (q, v) in [(0.5, s.p50), (0.9, s.p90), (0.99, s.p99)] {
-            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {v}");
+    // Histogram series arrive sorted by (name, labels); emit the family
+    // header exactly once, when the name changes.
+    let mut family: Option<String> = None;
+    for (id, h) in registry.histograms_snapshot() {
+        let n = prom_name(id.name());
+        if family.as_deref() != Some(id.name()) {
+            let _ = writeln!(out, "# HELP {n} Workspace histogram `{}`.", id.name());
+            let _ = writeln!(out, "# TYPE {n} summary");
+            family = Some(id.name().to_string());
         }
-        let _ = writeln!(out, "{n}_sum {}", s.sum);
-        let _ = writeln!(out, "{n}_count {}", s.count);
+        let s = h.snapshot();
+        for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+            let labels = prom_labels(id.labels(), Some(("quantile", q)));
+            let _ = writeln!(out, "{n}{labels} {v}");
+        }
+        let bare = prom_labels(id.labels(), None);
+        let _ = writeln!(out, "{n}_sum{bare} {}", s.sum);
+        let _ = writeln!(out, "{n}_count{bare} {}", s.count);
     }
-    for (path, st) in registry.spans_snapshot() {
-        let d = st.durations.snapshot();
+    let spans = registry.spans_snapshot();
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP span_seconds Tracing span durations by `;`-joined path."
+        );
         let _ = writeln!(out, "# TYPE span_seconds summary");
+    }
+    for (path, st) in spans {
+        let d = st.durations.snapshot();
+        let path = prom_label_value(&path);
         for (q, v) in [(0.5, d.p50), (0.9, d.p90), (0.99, d.p99)] {
             let _ = writeln!(
                 out,
@@ -165,13 +219,13 @@ pub fn json(registry: &Registry) -> String {
     }
     out.push_str("\n  },\n  \"histograms\": {");
     let hists = registry.histograms_snapshot();
-    for (i, (name, h)) in hists.iter().enumerate() {
+    for (i, (id, h)) in hists.iter().enumerate() {
         let s = h.snapshot();
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
             "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
-            json_escape(name),
+            json_escape(&id.to_string()),
             s.count,
             s.sum,
             s.min,
@@ -196,6 +250,101 @@ pub fn json(registry: &Registry) -> String {
         );
     }
     out.push_str("\n  }\n}\n");
+    out
+}
+
+fn json_args(ev: &SpanEvent) -> String {
+    let mut out = format!(
+        "{{\"span_id\": {}, \"parent_id\": {}",
+        ev.span_id, ev.parent_id
+    );
+    for (k, v) in &ev.args {
+        let _ = write!(out, ", \"{}\": \"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Flight-recorder events as Chrome `trace_event` JSON (the object form:
+/// `{"traceEvents": [...]}`), loadable in `chrome://tracing` / Perfetto.
+/// Spans become complete (`"ph": "X"`) events, instants become
+/// thread-scoped instant (`"ph": "i"`) events; the trace id is mapped to
+/// the `tid` so each request renders as its own track.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, ev) in events.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let ts = ev.start_ns as f64 / 1e3;
+        let common = format!(
+            "\"name\": \"{}\", \"cat\": \"spate\", \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}, \"args\": {}",
+            json_escape(&ev.name),
+            ev.trace_id,
+            json_args(ev)
+        );
+        match ev.kind {
+            EventKind::Span => {
+                let dur = ev.dur_ns as f64 / 1e3;
+                let _ = write!(
+                    out,
+                    "{sep}\n  {{\"ph\": \"X\", \"dur\": {dur:.3}, {common}}}"
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(out, "{sep}\n  {{\"ph\": \"i\", \"s\": \"t\", {common}}}");
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One trace's events as an indented tree, children ordered by span id
+/// (start order). Events whose parent was already overwritten in the
+/// ring render as roots; instants render with an `@` marker.
+pub fn trace_tree(events: &[SpanEvent]) -> String {
+    let mut events: Vec<&SpanEvent> = events.iter().collect();
+    events.sort_by_key(|e| e.span_id);
+    let known: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.span_id != 0)
+        .map(|e| e.span_id)
+        .collect();
+    let mut out = String::new();
+    fn emit(
+        out: &mut String,
+        events: &[&SpanEvent],
+        known: &std::collections::BTreeSet<u64>,
+        parent: u64,
+        depth: usize,
+    ) {
+        for ev in events.iter().filter(|e| {
+            if parent == 0 {
+                e.parent_id == 0 || !known.contains(&e.parent_id)
+            } else {
+                e.parent_id == parent
+            }
+        }) {
+            let indent = "  ".repeat(depth);
+            let args: String = ev.args.iter().map(|(k, v)| format!("  {k}={v}")).collect();
+            match ev.kind {
+                EventKind::Span => {
+                    let _ = writeln!(
+                        out,
+                        "{indent}{}  {:.3}ms{args}",
+                        ev.name,
+                        ev.dur_ns as f64 / 1e6
+                    );
+                }
+                EventKind::Instant => {
+                    let _ = writeln!(out, "{indent}@ {}{args}", ev.name);
+                }
+            }
+            if ev.span_id != 0 {
+                emit(out, events, known, ev.span_id, depth + 1);
+            }
+        }
+    }
+    emit(&mut out, &events, &known, 0, 0);
     out
 }
 
@@ -236,6 +385,47 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_emits_help_and_one_type_line_per_family() {
+        let r = sample_registry();
+        r.histogram_labeled("serve.latency_us", &[("class", "interactive")])
+            .record(100);
+        r.histogram_labeled("serve.latency_us", &[("class", "scan")])
+            .record(9000);
+        let text = prometheus_text(&r);
+        assert_eq!(
+            text.matches("# TYPE serve_latency_us summary").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches("# HELP serve_latency_us ").count(), 1);
+        // Two span paths, still one family header.
+        assert_eq!(text.matches("# TYPE span_seconds summary").count(), 1);
+        assert!(text.contains("serve_latency_us{class=\"interactive\",quantile=\"0.5\"}"));
+        assert!(text.contains("serve_latency_us_count{class=\"scan\"} 1"));
+        // Every HELP is immediately followed by its TYPE.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# HELP ") {
+                let fam = rest.split_whitespace().next().unwrap();
+                assert!(
+                    lines[i + 1].starts_with(&format!("# TYPE {fam} ")),
+                    "{l} not followed by TYPE"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let r = Registry::new();
+        r.histogram_labeled("h", &[("q", "a\"b\\c\nd")]).record(1);
+        let text = prometheus_text(&r);
+        assert!(text.contains("q=\"a\\\"b\\\\c\\nd\""), "{text}");
+        // The raw newline must not survive into the line.
+        assert!(!text.lines().any(|l| l == "d\""), "{text}");
+    }
+
+    #[test]
     fn flame_table_nests_children_under_parents() {
         let table = flame_table(&sample_registry());
         let parent_line = table.lines().position(|l| l.starts_with("spate.ingest"));
@@ -255,5 +445,69 @@ mod tests {
         }
         assert!(!doc.contains(",\n  }"));
         assert!(doc.contains("\"spate.ingest;compress\""));
+    }
+
+    fn sample_events() -> Vec<SpanEvent> {
+        let span = |span_id, parent_id, name: &str, start_ns, dur_ns| SpanEvent {
+            trace_id: 7,
+            span_id,
+            parent_id,
+            name: name.to_string(),
+            start_ns,
+            dur_ns,
+            kind: EventKind::Span,
+            args: Vec::new(),
+        };
+        vec![
+            span(1, 0, "serve.request", 1_000, 9_000_000),
+            span(2, 1, "serve.evaluate", 2_000, 8_000_000),
+            span(3, 2, "dfs.read", 3_000, 4_000_000),
+            SpanEvent {
+                trace_id: 7,
+                span_id: 4,
+                parent_id: 2,
+                name: "cache".to_string(),
+                start_ns: 8_000_000,
+                dur_ns: 0,
+                kind: EventKind::Instant,
+                args: vec![("hits".to_string(), "2".to_string())],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid() {
+        let doc = chrome_trace(&sample_events());
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.starts_with("{\"traceEvents\": ["));
+        assert_eq!(doc.matches("\"ph\": \"X\"").count(), 3);
+        assert_eq!(doc.matches("\"ph\": \"i\"").count(), 1);
+        assert!(doc.contains("\"name\": \"dfs.read\""));
+        assert!(doc.contains("\"dur\": 4000.000"));
+        assert!(doc.contains("\"tid\": 7"));
+        assert!(doc.contains("\"hits\": \"2\""));
+        assert!(!doc.contains(",]") && !doc.contains(",}"));
+    }
+
+    #[test]
+    fn trace_tree_indents_children_and_marks_instants() {
+        let tree = trace_tree(&sample_events());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("serve.request"), "{tree}");
+        assert!(lines[1].starts_with("  serve.evaluate"), "{tree}");
+        assert!(lines[2].starts_with("    dfs.read"), "{tree}");
+        assert!(lines[3].starts_with("    @ cache  hits=2"), "{tree}");
+    }
+
+    #[test]
+    fn trace_tree_orphans_render_as_roots() {
+        // Parent span 1 was overwritten in the ring; its child must still
+        // appear instead of silently vanishing.
+        let mut events = sample_events();
+        events.remove(0);
+        let tree = trace_tree(&events);
+        assert!(tree.lines().next().unwrap().starts_with("serve.evaluate"));
+        assert_eq!(tree.lines().count(), 3);
     }
 }

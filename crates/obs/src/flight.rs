@@ -1,0 +1,261 @@
+//! The flight recorder: a bounded, lock-light ring buffer of span events.
+//!
+//! Spans and instant events recorded while a trace context is active (see
+//! [`crate::trace`]) land here, not in the aggregated registry: the
+//! registry answers "where does time go on average", the flight recorder
+//! answers "what did *this* request do". It is sized for the recent past —
+//! a fixed number of slots overwritten in arrival order — so memory stays
+//! bounded no matter how long the server runs, and a dump after an
+//! incident still holds the last few thousand events.
+//!
+//! Concurrency design: writers claim a slot with one `fetch_add` on the
+//! global head, then fill it under that slot's own mutex. There is no
+//! recorder-wide lock, so two workers recording events contend only when
+//! they hash to the same slot mid-overwrite (capacity apart in sequence
+//! numbers). [`FlightRecorder::dump`] locks slots one at a time and sorts
+//! by sequence number, so it is safe to call at any moment — including
+//! from a panic hook or signal-style "dump everything" path — without
+//! stopping writers.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Default slot count of the global recorder; enough for several hundred
+/// requests at ~10 events each.
+pub const DEFAULT_CAPACITY: usize = 16_384;
+
+/// What a recorded event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed region (has a meaningful `dur_ns`).
+    Span,
+    /// A point-in-time annotation (`dur_ns == 0`).
+    Instant,
+}
+
+/// One recorded span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// The request-scoped trace this event belongs to.
+    pub trace_id: u64,
+    /// Id unique within the trace; 0 for instants recorded outside any
+    /// span allocation (e.g. from a thread without the trace installed).
+    pub span_id: u64,
+    /// Enclosing span's id, or 0 for roots.
+    pub parent_id: u64,
+    /// Stage label (`"serve.request"`, `"dfs.read"`, ...).
+    pub name: String,
+    /// Start, nanoseconds since the process trace epoch ([`now_ns`]).
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    pub kind: EventKind,
+    /// Structured annotations (`("class", "interactive")`, ...).
+    pub args: Vec<(String, String)>,
+}
+
+/// One ring slot: sequence number (0 = never written, else 1-based write
+/// index) and payload, updated together under the slot's mutex.
+struct Slot(Mutex<(u64, Option<SpanEvent>)>);
+
+/// Bounded ring buffer of [`SpanEvent`]s. See the module docs for the
+/// locking design.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1))
+                .map(|_| Slot(Mutex::new((0, None))))
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events written over the recorder's lifetime (≥ retained count).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        (self.total_recorded() as usize).min(self.capacity())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total_recorded() == 0
+    }
+
+    /// Record one event, overwriting the oldest retained event once the
+    /// ring is full.
+    pub fn record(&self, event: SpanEvent) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[seq as usize % self.slots.len()];
+        *slot.0.lock() = (seq + 1, Some(event));
+    }
+
+    /// All retained events in arrival order. Concurrent writers may land
+    /// events while the dump walks the ring; each slot is still read
+    /// atomically, so every returned event is intact.
+    pub fn dump(&self) -> Vec<SpanEvent> {
+        let mut pairs: Vec<(u64, SpanEvent)> = Vec::with_capacity(self.len());
+        for slot in self.slots.iter() {
+            let guard = slot.0.lock();
+            if let (seq, Some(ev)) = &*guard {
+                pairs.push((*seq, ev.clone()));
+            }
+        }
+        pairs.sort_by_key(|(seq, _)| *seq);
+        pairs.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// The retained events of one trace, ordered by span id (allocation
+    /// order, which for single-threaded request execution is also start
+    /// order).
+    pub fn trace(&self, trace_id: u64) -> Vec<SpanEvent> {
+        let mut events: Vec<SpanEvent> = self
+            .dump()
+            .into_iter()
+            .filter(|e| e.trace_id == trace_id)
+            .collect();
+        events.sort_by_key(|e| e.span_id);
+        events
+    }
+
+    /// Distinct trace ids among retained events, oldest first.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for ev in self.dump() {
+            if !ids.contains(&ev.trace_id) {
+                ids.push(ev.trace_id);
+            }
+        }
+        ids
+    }
+
+    /// The most recently started trace, if any.
+    pub fn latest_trace_id(&self) -> Option<u64> {
+        self.trace_ids().pop()
+    }
+
+    /// Drop every retained event (measurement boundary).
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            *slot.0.lock() = (0, None);
+        }
+        self.head.store(0, Ordering::Relaxed);
+    }
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (first call wins). All
+/// flight-recorder timestamps share this origin so events from different
+/// threads order correctly on one timeline.
+pub fn now_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace_id: u64, span_id: u64, name: &str) -> SpanEvent {
+        SpanEvent {
+            trace_id,
+            span_id,
+            parent_id: 0,
+            name: name.to_string(),
+            start_ns: span_id * 10,
+            dur_ns: 5,
+            kind: EventKind::Span,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dump_preserves_arrival_order() {
+        let r = FlightRecorder::new(8);
+        for i in 0..5 {
+            r.record(ev(1, i, "a"));
+        }
+        let got = r.dump();
+        assert_eq!(got.len(), 5);
+        assert_eq!(
+            got.iter().map(|e| e.span_id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_events() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(ev(1, i, "a"));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_recorded(), 10);
+        let got: Vec<u64> = r.dump().iter().map(|e| e.span_id).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn trace_filters_and_orders_by_span_id() {
+        let r = FlightRecorder::new(16);
+        r.record(ev(2, 2, "b"));
+        r.record(ev(1, 1, "a"));
+        r.record(ev(2, 1, "b0"));
+        let t = r.trace(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].span_id, 1);
+        assert_eq!(t[1].span_id, 2);
+        assert_eq!(r.trace_ids(), vec![2, 1]);
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let r = FlightRecorder::new(4);
+        r.record(ev(1, 1, "a"));
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.dump().is_empty());
+        assert_eq!(r.latest_trace_id(), None);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_events() {
+        let r = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        r.record(ev(t, i, "w"));
+                    }
+                });
+            }
+            // Concurrent dumps must always see whole events.
+            let r2 = r.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    for e in r2.dump() {
+                        assert_eq!(e.name, "w");
+                        assert_eq!(e.start_ns, e.span_id * 10);
+                    }
+                }
+            });
+        });
+        assert_eq!(r.total_recorded(), 2000);
+        assert_eq!(r.len(), 64);
+    }
+}

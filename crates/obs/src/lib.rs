@@ -29,21 +29,31 @@
 //! ```
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use flight::{EventKind, FlightRecorder, SpanEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::Registry;
+pub use registry::{MetricId, Registry};
 pub use span::{span, SpanGuard, SpanStats};
 
 use std::sync::{Arc, OnceLock};
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
+static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
 
 /// The process-global registry every instrumented crate records into.
 pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-global flight recorder; spans and events recorded under an
+/// active [`trace`] context land here.
+pub fn flight() -> &'static FlightRecorder {
+    FLIGHT.get_or_init(|| FlightRecorder::new(flight::DEFAULT_CAPACITY))
 }
 
 /// Get-or-create a named counter in the global registry.
@@ -81,13 +91,97 @@ pub fn observe(name: &str, value: u64) {
     global().histogram(name).record(value);
 }
 
-/// Clear the global registry (measurement boundary between experiments).
+/// Get-or-create a labeled histogram series in the global registry. Hot
+/// paths should resolve the `Arc` once and reuse it.
+pub fn histogram_labeled(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    global().histogram_labeled(name, labels)
+}
+
+/// Record one observation into the named labeled global histogram.
+pub fn observe_labeled(name: &str, labels: &[(&str, &str)], value: u64) {
+    global().histogram_labeled(name, labels).record(value);
+}
+
+/// Clear the global registry and the flight recorder (measurement
+/// boundary between experiments).
+///
+/// # Concurrency semantics
+///
+/// `reset` is safe to call while other threads record: it only swaps the
+/// registry's maps empty under their write locks, never blocking on or
+/// touching the metric atomics themselves. Racing recorders fall into
+/// exactly one of two outcomes, both benign:
+///
+/// * a recorder that already resolved its `Arc` keeps incrementing the
+///   now-detached metric — the update is lost from future exports but
+///   never panics, deadlocks or corrupts;
+/// * a recorder that resolves *after* the clear re-interns a fresh metric
+///   that starts from zero.
+///
+/// Open spans behave the same way: a span closing after a reset re-interns
+/// its path and records into the fresh `SpanStats`. The boundary is
+/// therefore *eventually clean* rather than instantaneous — callers that
+/// need an exact cut (benchmark harnesses) should quiesce workers first,
+/// which is what `repro` does between experiments.
 pub fn reset() {
     global().reset();
+    flight().clear();
 }
 
 #[cfg(test)]
 mod tests {
+    /// Satellite of the documented [`crate::reset`] contract: reset racing
+    /// with recorders (counter `inc`, histogram `observe`, labeled
+    /// observes, spans opening/closing) must never panic or deadlock, and
+    /// the registry must stay usable afterwards. Run on an independent
+    /// [`crate::Registry`] where possible plus the global helpers, since
+    /// the global registry is what serve workers actually share.
+    #[test]
+    fn reset_racing_with_recorders_is_safe() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = AtomicBool::new(false);
+        let local = crate::Registry::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let local = &local;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        super::inc("test.reset.race.counter");
+                        super::observe("test.reset.race.hist", i);
+                        super::observe_labeled(
+                            "test.reset.race.lat",
+                            &[("class", if t % 2 == 0 { "a" } else { "b" })],
+                            i,
+                        );
+                        local.counter("c").inc();
+                        local.histogram_labeled("h", &[("t", "x")]).record(i);
+                        {
+                            let _outer = super::span("test.reset.race.outer");
+                            let _inner = super::span("inner");
+                        }
+                        i += 1;
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..200 {
+                    super::reset();
+                    local.reset();
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+        // Still usable: fresh metrics start clean and record.
+        local.reset();
+        local.counter("after").add(3);
+        assert_eq!(local.counter("after").get(), 3);
+        super::inc("test.reset.race.after");
+        assert!(super::counter("test.reset.race.after").get() >= 1);
+    }
+
     #[test]
     fn module_level_helpers_hit_the_global_registry() {
         super::add("test.lib.counter", 7);

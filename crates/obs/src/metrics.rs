@@ -176,6 +176,37 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Raw bucket occupancy counts. Two snapshots taken over time give a
+    /// *windowed* view: subtract element-wise and feed the deltas to
+    /// [`Histogram::quantile_of_counts`] for the quantile of just that
+    /// window — how the meta-highlights monitor watches p99 drift without
+    /// resetting the histogram.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile of an explicit bucket-count vector (as
+    /// produced by [`Histogram::bucket_counts`], or a delta of two such
+    /// vectors); 0 when empty.
+    pub fn quantile_of_counts(counts: &[u64], q: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_mid(i);
+            }
+        }
+        0
+    }
+
     /// A consistent-enough point-in-time view (each field individually
     /// exact; fields may straddle concurrent records).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -264,6 +295,28 @@ mod tests {
         assert_eq!(h.quantile(1.0), SUB as u64 - 1);
         assert_eq!(h.count(), SUB as u64);
         assert_eq!(h.sum(), (SUB as u64 * (SUB as u64 - 1)) / 2);
+    }
+
+    #[test]
+    fn windowed_quantiles_from_bucket_deltas() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let before = h.bucket_counts();
+        for _ in 0..100 {
+            h.record(100_000);
+        }
+        let after = h.bucket_counts();
+        let delta: Vec<u64> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        // The whole histogram's p50 straddles both bursts, but the
+        // window saw only the slow one.
+        let p50 = Histogram::quantile_of_counts(&delta, 0.50);
+        assert!(p50 > 90_000, "{p50}");
+        // Unclamped bucket midpoint: within 1/SUB relative error of 100.
+        let p100 = Histogram::quantile_of_counts(&before, 1.0);
+        assert!((97..=104).contains(&p100), "{p100}");
+        assert_eq!(Histogram::quantile_of_counts(&[], 0.5), 0);
     }
 
     #[test]

@@ -1,11 +1,75 @@
 //! The global metric registry: named counters, gauges, histograms and
 //! span statistics, created on first use.
+//!
+//! Histograms are keyed by [`MetricId`] — a name plus an ordered label
+//! set — so one logical metric (`serve.latency_us`) can carry per-class
+//! series (`class="interactive"` / `class="scan"`) without mangling the
+//! label into the name. Counters, gauges and spans remain name-keyed.
 
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::span::SpanStats;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
+
+/// Identity of one metric series: a name plus sorted `(key, value)`
+/// labels. `MetricId`s order by name first, so a sorted snapshot groups
+/// all series of one family together — what the exporters rely on to
+/// emit `# TYPE` once per family.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// An unlabeled series.
+    pub fn plain(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A labeled series; labels are sorted by key so equal label sets
+    /// compare equal regardless of call-site order.
+    pub fn labeled(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+}
+
+impl fmt::Display for MetricId {
+    /// `name` or `name{k="v",...}` — the JSON exporter's key form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                write!(f, "{sep}{k}=\"{v}\"")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
 
 /// A thread-safe registry of named metrics. One process-global instance
 /// lives behind [`crate::global`]; independent registries can be created
@@ -14,7 +78,7 @@ use std::sync::Arc;
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
-    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    histograms: RwLock<BTreeMap<MetricId, Arc<Histogram>>>,
     spans: RwLock<BTreeMap<String, Arc<SpanStats>>>,
 }
 
@@ -27,6 +91,17 @@ fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc
     Arc::clone(
         map.write()
             .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+fn intern_id<T: Default>(map: &RwLock<BTreeMap<MetricId, Arc<T>>>, id: &MetricId) -> Arc<T> {
+    if let Some(v) = map.read().get(id) {
+        return Arc::clone(v);
+    }
+    Arc::clone(
+        map.write()
+            .entry(id.clone())
             .or_insert_with(|| Arc::new(T::default())),
     )
 }
@@ -44,8 +119,16 @@ impl Registry {
         intern(&self.gauges, name)
     }
 
+    /// The unlabeled histogram series `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        intern(&self.histograms, name)
+        intern_id(&self.histograms, &MetricId::plain(name))
+    }
+
+    /// The labeled histogram series `name{labels}`. Hot paths should
+    /// resolve the `Arc` once and reuse it rather than re-looking-up per
+    /// observation.
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        intern_id(&self.histograms, &MetricId::labeled(name, labels))
     }
 
     pub fn span_stats(&self, path: &str) -> Arc<SpanStats> {
@@ -69,7 +152,8 @@ impl Registry {
             .collect()
     }
 
-    pub fn histograms_snapshot(&self) -> Vec<(String, Arc<Histogram>)> {
+    /// All histogram series, sorted by name then labels (family-grouped).
+    pub fn histograms_snapshot(&self) -> Vec<(MetricId, Arc<Histogram>)> {
         self.histograms
             .read()
             .iter()
@@ -87,7 +171,8 @@ impl Registry {
 
     /// Drop every registered metric and span. Existing `Arc` handles keep
     /// working but are no longer reachable from the registry; spans still
-    /// open re-intern their path when they close.
+    /// open re-intern their path when they close. See [`crate::reset`]
+    /// for the concurrency contract.
     pub fn reset(&self) {
         self.counters.write().clear();
         self.gauges.write().clear();
@@ -132,5 +217,42 @@ mod tests {
         }
         let names: Vec<String> = r.counters_snapshot().into_iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_but_label_order_is_not() {
+        let r = Registry::new();
+        r.histogram_labeled("lat", &[("class", "interactive")])
+            .record(10);
+        r.histogram_labeled("lat", &[("class", "scan")]).record(20);
+        // Same series regardless of label order at the call site.
+        r.histogram_labeled("lat", &[("b", "2"), ("a", "1")])
+            .record(1);
+        r.histogram_labeled("lat", &[("a", "1"), ("b", "2")])
+            .record(2);
+        assert_eq!(
+            r.histogram_labeled("lat", &[("class", "interactive")])
+                .count(),
+            1
+        );
+        assert_eq!(
+            r.histogram_labeled("lat", &[("b", "2"), ("a", "1")])
+                .count(),
+            2
+        );
+        assert_eq!(r.histograms_snapshot().len(), 3);
+        // Unlabeled and labeled series with the same name coexist.
+        r.histogram("lat").record(5);
+        assert_eq!(r.histograms_snapshot().len(), 4);
+    }
+
+    #[test]
+    fn metric_id_groups_families_and_displays_labels() {
+        let a = MetricId::plain("serve.latency_us");
+        let b = MetricId::labeled("serve.latency_us", &[("class", "scan")]);
+        let c = MetricId::plain("spate.query");
+        assert!(a < b && b < c, "family grouping order");
+        assert_eq!(a.to_string(), "serve.latency_us");
+        assert_eq!(b.to_string(), "serve.latency_us{class=\"scan\"}");
     }
 }

@@ -31,10 +31,34 @@ pub struct SpanStats {
 struct Frame {
     path: String,
     child_ns: u64,
+    /// Flight-recorder identity, present while a trace context is active
+    /// (see [`crate::trace`]); closing the span then also records a
+    /// [`crate::flight::SpanEvent`].
+    trace: Option<TraceSpan>,
+}
+
+#[derive(Clone, Copy)]
+struct TraceSpan {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_ns: u64,
 }
 
 thread_local! {
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span that belongs to a trace, as
+/// `(trace_id, span_id)` — the parent for instant events.
+pub(crate) fn current_trace_span() -> Option<(u64, u64)> {
+    STACK.with(|stack| {
+        stack
+            .borrow()
+            .iter()
+            .rev()
+            .find_map(|f| f.trace.map(|t| (t.trace_id, t.span_id)))
+    })
 }
 
 /// Open a span named `name` nested under this thread's innermost open
@@ -46,7 +70,24 @@ pub fn span(name: &str) -> SpanGuard {
             Some(parent) => format!("{};{}", parent.path, name),
             None => name.to_string(),
         };
-        stack.push(Frame { path, child_ns: 0 });
+        // Under an active trace context the span also gets a flight
+        // recorder identity, parented under the innermost traced frame
+        // (frames opened before the context began stay outside the trace).
+        let trace = crate::trace::alloc_span_id().map(|(trace_id, span_id)| TraceSpan {
+            trace_id,
+            span_id,
+            parent_id: stack
+                .iter()
+                .rev()
+                .find_map(|f| f.trace.map(|t| t.span_id))
+                .unwrap_or(0),
+            start_ns: crate::flight::now_ns(),
+        });
+        stack.push(Frame {
+            path,
+            child_ns: 0,
+            trace,
+        });
     });
     SpanGuard {
         // Started after the bookkeeping so path construction is not billed
@@ -84,6 +125,19 @@ impl SpanGuard {
             .self_ns
             .fetch_add(ns.saturating_sub(frame.child_ns), Ordering::Relaxed);
         stats.durations.record(ns);
+        if let Some(t) = frame.trace {
+            let name = frame.path.rsplit(';').next().unwrap_or(&frame.path);
+            crate::flight().record(crate::flight::SpanEvent {
+                trace_id: t.trace_id,
+                span_id: t.span_id,
+                parent_id: t.parent_id,
+                name: name.to_string(),
+                start_ns: t.start_ns,
+                dur_ns: ns,
+                kind: crate::flight::EventKind::Span,
+                args: Vec::new(),
+            });
+        }
         elapsed.as_secs_f64()
     }
 

@@ -1,0 +1,182 @@
+//! Per-request trace propagation.
+//!
+//! A **trace context** is a trace id plus a per-trace span-id allocator,
+//! installed on the current thread for the duration of one request by
+//! [`begin`]. While a context is active, every [`crate::span`] opened on
+//! the thread additionally records a [`crate::flight::SpanEvent`] into the
+//! global flight recorder when it closes — parented under the enclosing
+//! span — and [`event`] drops instant annotations into the same trace.
+//! With no context installed all of this is a no-op, so library code in
+//! `core`/`dfs` stays unconditionally instrumented while non-request work
+//! (ingest, benchmarks) pays nothing.
+//!
+//! Span ids are allocated sequentially per trace starting at 1. Request
+//! execution is single-threaded (one worker drives one request), so
+//! allocation order equals start order and the reconstructed tree shape
+//! is deterministic for a deterministic workload.
+
+use crate::flight::{EventKind, SpanEvent};
+use std::cell::Cell;
+
+#[derive(Clone, Copy)]
+struct ActiveTrace {
+    trace_id: u64,
+    next_span_id: u64,
+}
+
+thread_local! {
+    static ACTIVE: Cell<Option<ActiveTrace>> = const { Cell::new(None) };
+}
+
+/// Install `trace_id` as this thread's active trace context. The returned
+/// guard restores the previous context (usually none) when dropped; spans
+/// and [`event`]s in between are recorded into the flight recorder.
+pub fn begin(trace_id: u64) -> TraceGuard {
+    let prev = ACTIVE.replace(Some(ActiveTrace {
+        trace_id,
+        next_span_id: 1,
+    }));
+    TraceGuard { prev }
+}
+
+/// The active trace id on this thread, if any.
+pub fn current() -> Option<u64> {
+    ACTIVE.get().map(|a| a.trace_id)
+}
+
+/// Allocate the next span id of the active trace; `None` without one.
+pub(crate) fn alloc_span_id() -> Option<(u64, u64)> {
+    let mut active = ACTIVE.get()?;
+    let id = active.next_span_id;
+    active.next_span_id += 1;
+    ACTIVE.set(Some(active));
+    Some((active.trace_id, id))
+}
+
+fn owned_args(args: &[(&str, &str)]) -> Vec<(String, String)> {
+    args.iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Record an instant annotation into the active trace, parented under the
+/// innermost open span. No-op without an active context.
+pub fn event(name: &str, args: &[(&str, &str)]) {
+    let Some((trace_id, span_id)) = alloc_span_id() else {
+        return;
+    };
+    let parent_id = crate::span::current_trace_span().map_or(0, |(_, id)| id);
+    crate::flight().record(SpanEvent {
+        trace_id,
+        span_id,
+        parent_id,
+        name: name.to_string(),
+        start_ns: crate::flight::now_ns(),
+        dur_ns: 0,
+        kind: EventKind::Instant,
+        args: owned_args(args),
+    });
+}
+
+/// Record an already-measured timed region (e.g. queue wait measured by
+/// timestamps, not a guard) into the active trace as a root-level span.
+pub fn span_event(name: &str, start_ns: u64, dur_ns: u64, args: &[(&str, &str)]) {
+    let Some((trace_id, span_id)) = alloc_span_id() else {
+        return;
+    };
+    crate::flight().record(SpanEvent {
+        trace_id,
+        span_id,
+        parent_id: 0,
+        name: name.to_string(),
+        start_ns,
+        dur_ns,
+        kind: EventKind::Span,
+        args: owned_args(args),
+    });
+}
+
+/// Record an instant for an explicit trace id, from any thread, without
+/// installing a context — used where the request is *known* but not yet
+/// (or no longer) running, e.g. at admission on the reader thread. The
+/// event carries span id 0 (not part of the per-trace allocation).
+pub fn instant_for(trace_id: u64, name: &str, args: &[(&str, &str)]) {
+    crate::flight().record(SpanEvent {
+        trace_id,
+        span_id: 0,
+        parent_id: 0,
+        name: name.to_string(),
+        start_ns: crate::flight::now_ns(),
+        dur_ns: 0,
+        kind: EventKind::Instant,
+        args: owned_args(args),
+    });
+}
+
+/// Guard restoring the previous trace context; see [`begin`].
+pub struct TraceGuard {
+    prev: Option<ActiveTrace>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        ACTIVE.set(self.prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::EventKind;
+
+    #[test]
+    fn spans_and_events_record_into_the_active_trace() {
+        let trace_id = 0xF00D_0001;
+        {
+            let _t = begin(trace_id);
+            assert_eq!(current(), Some(trace_id));
+            let _outer = crate::span("test.trace.outer");
+            event("test.trace.mark", &[("k", "v")]);
+            {
+                let _inner = crate::span("test.trace.inner");
+            }
+        }
+        assert_eq!(current(), None);
+        let events = crate::flight().trace(trace_id);
+        assert_eq!(events.len(), 3, "{events:?}");
+        // Allocation order: outer=1, mark=2, inner=3; closes record later
+        // but span ids order the tree.
+        assert_eq!(events[0].name, "test.trace.outer");
+        assert_eq!(events[0].parent_id, 0);
+        assert_eq!(events[1].name, "test.trace.mark");
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[1].parent_id, events[0].span_id);
+        assert_eq!(events[1].args, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(events[2].name, "test.trace.inner");
+        assert_eq!(events[2].parent_id, events[0].span_id);
+    }
+
+    #[test]
+    fn no_context_means_no_flight_events() {
+        // Other tests share the global recorder, so assert by name, not
+        // by count.
+        {
+            let _s = crate::span("test.trace.untraced");
+            event("test.trace.ignored", &[]);
+        }
+        assert!(crate::flight()
+            .dump()
+            .iter()
+            .all(|e| e.name != "test.trace.untraced" && e.name != "test.trace.ignored"));
+    }
+
+    #[test]
+    fn nested_begin_restores_the_outer_context() {
+        let _a = begin(1);
+        {
+            let _b = begin(2);
+            assert_eq!(current(), Some(2));
+        }
+        assert_eq!(current(), Some(1));
+    }
+}

@@ -210,6 +210,12 @@ impl<T> AdmissionQueue<T> {
         st.interactive.len + st.scan.len
     }
 
+    /// Per-class depths `(interactive, scan)` for introspection frames.
+    pub fn depths(&self) -> (usize, usize) {
+        let st = self.state.lock().unwrap();
+        (st.interactive.len, st.scan.len)
+    }
+
     /// Stop admitting; wake all poppers so workers can drain and exit.
     pub fn close(&self) {
         let mut st = self.state.lock().unwrap();

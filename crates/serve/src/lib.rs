@@ -21,6 +21,15 @@
 //! * [`server`] — the worker pool that ties it together, plus the
 //!   synchronous [`ClientConn`] wrapper.
 //!
+//! Every request is traced end-to-end: admission mints a trace id
+//! (`(conn << 32) | request_id`), the worker installs it as an
+//! `obs::trace` context, and every span down through the framework and
+//! `dfs` files into the process-global flight recorder. Two control
+//! frames expose it live — [`RequestBody::Stats`] (counters, queue
+//! depths, cache ratios, meta-highlights anomalies) and
+//! [`RequestBody::Trace`] (one request's span tree) — both answered on
+//! the reader thread so they work even mid-shed-storm.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -54,8 +63,11 @@ pub mod transport;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, Class};
 pub use cache::{CacheConfig, CacheInvalidator, CacheStats, EpochCache};
-pub use proto::{ProtoError, Request, RequestBody, Response, ResponseBody, TableHeader};
-pub use server::{ClientConn, Reply, ServeConfig, ServeStats, Server};
+pub use proto::{
+    AnomalyWire, ProtoError, Request, RequestBody, Response, ResponseBody, SpanWire, StatsFrame,
+    TableHeader, TraceFrame,
+};
+pub use server::{trace_id_for, ClientConn, Reply, ServeConfig, ServeStats, Server};
 pub use transport::{duplex, Endpoint, TransportError};
 
 // Re-exported so the doc examples and downstream users see the hook the

@@ -41,6 +41,10 @@ pub const CHUNK_ROWS: usize = 256;
 pub mod kind {
     pub const EXPLORE: u8 = 0x01;
     pub const SQL: u8 = 0x02;
+    /// Introspection: metric/cache/queue/anomaly snapshot.
+    pub const STATS: u8 = 0x03;
+    /// Introspection: one trace's span tree from the flight recorder.
+    pub const TRACE: u8 = 0x04;
 
     pub const HEADER: u8 = 0x81;
     pub const ROW_CHUNK: u8 = 0x82;
@@ -50,6 +54,8 @@ pub mod kind {
     pub const ERROR: u8 = 0x86;
     pub const SHED: u8 = 0x87;
     pub const UNAVAILABLE: u8 = 0x88;
+    pub const STATS_REPLY: u8 = 0x89;
+    pub const TRACE_REPLY: u8 = 0x8A;
 }
 
 /// Errors decoding a frame.
@@ -106,20 +112,32 @@ pub enum RequestBody {
     },
     /// A SPATE-SQL statement scoped to an epoch window.
     Sql { window: (u32, u32), sql: String },
+    /// Introspection: ask for the server's live stats snapshot. Answered
+    /// on the reader thread (never queued), so it works mid-shed-storm.
+    Stats,
+    /// Introspection: ask for one trace's span tree; `trace_id == 0`
+    /// means "the most recent trace in the flight recorder".
+    Trace { trace_id: u64 },
 }
 
 impl RequestBody {
-    /// The requested epoch window (both request forms carry one).
-    pub fn window(&self) -> (u32, u32) {
+    /// The requested epoch window (data-plane request forms carry one;
+    /// introspection frames do not).
+    pub fn window(&self) -> Option<(u32, u32)> {
         match self {
-            RequestBody::Explore { window, .. } | RequestBody::Sql { window, .. } => *window,
+            RequestBody::Explore { window, .. } | RequestBody::Sql { window, .. } => Some(*window),
+            RequestBody::Stats | RequestBody::Trace { .. } => None,
         }
     }
 
-    /// Window length in epochs.
+    /// Window length in epochs (0 for introspection frames).
     pub fn window_len(&self) -> u32 {
-        let (a, b) = self.window();
-        b.saturating_sub(a) + 1
+        self.window().map_or(0, |(a, b)| b.saturating_sub(a) + 1)
+    }
+
+    /// Control-plane frames bypass admission and the worker pool.
+    pub fn is_control(&self) -> bool {
+        matches!(self, RequestBody::Stats | RequestBody::Trace { .. })
     }
 }
 
@@ -128,6 +146,40 @@ impl RequestBody {
 pub struct TableHeader {
     pub name: String,
     pub columns: Vec<String>,
+}
+
+/// One meta-highlights anomaly carried by a [`ResponseBody::Stats`]
+/// frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyWire {
+    /// Monitor tick the anomaly fired on.
+    pub tick: u64,
+    pub stream: String,
+    /// The rare category observed (`"burst"`, `"storm"`, ...).
+    pub category: String,
+    /// Relative frequency that put it under θ, in milli-units
+    /// (`share * 1000`, saturated) — keeps the frame integer-only.
+    pub share_milli: u32,
+    /// True for deterministic-stream anomalies (the CI gate counts).
+    pub deterministic: bool,
+}
+
+/// One flight-recorder event carried by a [`ResponseBody::Trace`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanWire {
+    /// Id within the trace (0 for out-of-band instants).
+    pub span_id: u64,
+    /// Enclosing span's id (0 = root).
+    pub parent_id: u64,
+    pub name: String,
+    /// Microseconds since the server's trace epoch.
+    pub start_us: u64,
+    /// Microseconds (0 for instants).
+    pub dur_us: u64,
+    /// True for point-in-time annotations.
+    pub instant: bool,
+    /// Structured annotations (`("class", "interactive")`, ...).
+    pub args: Vec<(String, String)>,
 }
 
 /// A response frame.
@@ -166,6 +218,47 @@ pub enum ResponseBody {
     Error { code: u8, message: String },
     /// Nothing retained covers the window.
     Unavailable,
+    /// Live introspection snapshot (answers [`RequestBody::Stats`]).
+    Stats(StatsFrame),
+    /// One trace's events (answers [`RequestBody::Trace`]); empty when
+    /// the trace id is unknown or already overwritten in the ring.
+    Trace(TraceFrame),
+}
+
+/// Payload of a [`ResponseBody::Stats`] introspection answer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsFrame {
+    /// Requests served over the server's lifetime.
+    pub queries: u64,
+    pub rows_streamed: u64,
+    pub shed_overflow: u64,
+    pub shed_deadline: u64,
+    pub protocol_errors: u64,
+    /// Current admission queue depths per class.
+    pub queue_interactive: u32,
+    pub queue_scan: u32,
+    /// Epoch-cache counters.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_invalidations: u64,
+    /// Meta-highlights monitor counters.
+    pub meta_ticks: u64,
+    pub anomalies_total: u64,
+    /// Deterministic-stream anomalies only — the CI gate value.
+    pub anomalies_deterministic: u64,
+    /// Most recent anomaly records (bounded by the monitor history).
+    pub anomalies: Vec<AnomalyWire>,
+    /// Registry counter snapshot (name, value), sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Payload of a [`ResponseBody::Trace`] introspection answer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceFrame {
+    /// The resolved trace id (the latest one when 0 was asked for).
+    pub trace_id: u64,
+    pub spans: Vec<SpanWire>,
 }
 
 impl ResponseBody {
@@ -177,6 +270,8 @@ impl ResponseBody {
                 | ResponseBody::Shed { .. }
                 | ResponseBody::Error { .. }
                 | ResponseBody::Unavailable
+                | ResponseBody::Stats(_)
+                | ResponseBody::Trace(_)
         )
     }
 }
@@ -289,6 +384,11 @@ impl Request {
                 w.str(sql);
                 kind::SQL
             }
+            RequestBody::Stats => kind::STATS,
+            RequestBody::Trace { trace_id } => {
+                w.u64(*trace_id);
+                kind::TRACE
+            }
         };
         frame(kind, &w.buf)
     }
@@ -317,6 +417,8 @@ impl Request {
                 let sql = r.str()?;
                 RequestBody::Sql { window, sql }
             }
+            kind::STATS => RequestBody::Stats,
+            kind::TRACE => RequestBody::Trace { trace_id: r.u64()? },
             other => return Err(ProtoError::BadKind(other)),
         };
         r.finish()?;
@@ -390,6 +492,54 @@ impl Response {
                 kind::ERROR
             }
             ResponseBody::Unavailable => kind::UNAVAILABLE,
+            ResponseBody::Stats(s) => {
+                w.u64(s.queries);
+                w.u64(s.rows_streamed);
+                w.u64(s.shed_overflow);
+                w.u64(s.shed_deadline);
+                w.u64(s.protocol_errors);
+                w.u32(s.queue_interactive);
+                w.u32(s.queue_scan);
+                w.u64(s.cache_hits);
+                w.u64(s.cache_misses);
+                w.u64(s.cache_evictions);
+                w.u64(s.cache_invalidations);
+                w.u64(s.meta_ticks);
+                w.u64(s.anomalies_total);
+                w.u64(s.anomalies_deterministic);
+                w.u16(s.anomalies.len() as u16);
+                for a in &s.anomalies {
+                    w.u64(a.tick);
+                    w.str(&a.stream);
+                    w.str(&a.category);
+                    w.u32(a.share_milli);
+                    w.u8(a.deterministic as u8);
+                }
+                w.u32(s.counters.len() as u32);
+                for (name, value) in &s.counters {
+                    w.str(name);
+                    w.u64(*value);
+                }
+                kind::STATS_REPLY
+            }
+            ResponseBody::Trace(t) => {
+                w.u64(t.trace_id);
+                w.u32(t.spans.len() as u32);
+                for s in &t.spans {
+                    w.u64(s.span_id);
+                    w.u64(s.parent_id);
+                    w.str(&s.name);
+                    w.u64(s.start_us);
+                    w.u64(s.dur_us);
+                    w.u8(s.instant as u8);
+                    w.u16(s.args.len() as u16);
+                    for (k, v) in &s.args {
+                        w.str(k);
+                        w.str(v);
+                    }
+                }
+                kind::TRACE_REPLY
+            }
         };
         frame(kind, &w.buf)
     }
@@ -448,6 +598,88 @@ impl Response {
                 message: r.str()?,
             },
             kind::UNAVAILABLE => ResponseBody::Unavailable,
+            kind::STATS_REPLY => {
+                let queries = r.u64()?;
+                let rows_streamed = r.u64()?;
+                let shed_overflow = r.u64()?;
+                let shed_deadline = r.u64()?;
+                let protocol_errors = r.u64()?;
+                let queue_interactive = r.u32()?;
+                let queue_scan = r.u32()?;
+                let cache_hits = r.u64()?;
+                let cache_misses = r.u64()?;
+                let cache_evictions = r.u64()?;
+                let cache_invalidations = r.u64()?;
+                let meta_ticks = r.u64()?;
+                let anomalies_total = r.u64()?;
+                let anomalies_deterministic = r.u64()?;
+                let n_anoms = r.u16()? as usize;
+                let mut anomalies = Vec::new();
+                for _ in 0..n_anoms {
+                    anomalies.push(AnomalyWire {
+                        tick: r.u64()?,
+                        stream: r.str()?,
+                        category: r.str()?,
+                        share_milli: r.u32()?,
+                        deterministic: r.u8()? != 0,
+                    });
+                }
+                let n_counters = r.u32()? as usize;
+                let mut counters = Vec::new();
+                for _ in 0..n_counters {
+                    let name = r.str()?;
+                    let value = r.u64()?;
+                    counters.push((name, value));
+                }
+                ResponseBody::Stats(StatsFrame {
+                    queries,
+                    rows_streamed,
+                    shed_overflow,
+                    shed_deadline,
+                    protocol_errors,
+                    queue_interactive,
+                    queue_scan,
+                    cache_hits,
+                    cache_misses,
+                    cache_evictions,
+                    cache_invalidations,
+                    meta_ticks,
+                    anomalies_total,
+                    anomalies_deterministic,
+                    anomalies,
+                    counters,
+                })
+            }
+            kind::TRACE_REPLY => {
+                let trace_id = r.u64()?;
+                let nspans = r.u32()? as usize;
+                let mut spans = Vec::new();
+                for _ in 0..nspans {
+                    let span_id = r.u64()?;
+                    let parent_id = r.u64()?;
+                    let name = r.str()?;
+                    let start_us = r.u64()?;
+                    let dur_us = r.u64()?;
+                    let instant = r.u8()? != 0;
+                    let nargs = r.u16()? as usize;
+                    let mut args = Vec::new();
+                    for _ in 0..nargs {
+                        let k = r.str()?;
+                        let v = r.str()?;
+                        args.push((k, v));
+                    }
+                    spans.push(SpanWire {
+                        span_id,
+                        parent_id,
+                        name,
+                        start_us,
+                        dur_us,
+                        instant,
+                        args,
+                    });
+                }
+                ResponseBody::Trace(TraceFrame { trace_id, spans })
+            }
             other => return Err(ProtoError::BadKind(other)),
         };
         r.finish()?;
@@ -475,7 +707,7 @@ impl FrameHeader {
             return Err(ProtoError::BadVersion(bytes[2]));
         }
         let kind = bytes[3];
-        if !matches!(kind, 0x01..=0x02 | 0x81..=0x88) {
+        if !matches!(kind, 0x01..=0x04 | 0x81..=0x8A) {
             return Err(ProtoError::BadKind(kind));
         }
         let payload_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
@@ -606,6 +838,122 @@ mod tests {
                 window: (0, 47),
                 sql: "SELECT cell_id, SUM(call_drops) FROM NMS GROUP BY cell_id".into(),
             },
+        });
+    }
+
+    #[test]
+    fn introspection_request_frames_round_trip() {
+        roundtrip_request(Request {
+            id: 9,
+            body: RequestBody::Stats,
+        });
+        roundtrip_request(Request {
+            id: 10,
+            body: RequestBody::Trace {
+                trace_id: (3 << 32) | 7,
+            },
+        });
+        roundtrip_request(Request {
+            id: 11,
+            body: RequestBody::Trace { trace_id: 0 },
+        });
+        assert!(RequestBody::Stats.is_control());
+        assert_eq!(RequestBody::Stats.window(), None);
+        assert_eq!(RequestBody::Stats.window_len(), 0);
+    }
+
+    #[test]
+    fn stats_reply_round_trips() {
+        roundtrip_response(Response {
+            id: 9,
+            body: ResponseBody::Stats(StatsFrame {
+                queries: 120,
+                rows_streamed: 9_000,
+                shed_overflow: 3,
+                shed_deadline: 1,
+                protocol_errors: 0,
+                queue_interactive: 5,
+                queue_scan: 2,
+                cache_hits: 80,
+                cache_misses: 40,
+                cache_evictions: 12,
+                cache_invalidations: 4,
+                meta_ticks: 16,
+                anomalies_total: 2,
+                anomalies_deterministic: 1,
+                anomalies: vec![
+                    AnomalyWire {
+                        tick: 12,
+                        stream: "dfs.retry".into(),
+                        category: "burst".into(),
+                        share_milli: 62,
+                        deterministic: true,
+                    },
+                    AnomalyWire {
+                        tick: 14,
+                        stream: "serve.shed".into(),
+                        category: "storm".into(),
+                        share_milli: 125,
+                        deterministic: false,
+                    },
+                ],
+                counters: vec![
+                    ("serve.queries".into(), 120),
+                    ("dfs.read.bytes".into(), 1 << 40),
+                ],
+            }),
+        });
+        // Empty snapshot (fresh server) is valid too.
+        roundtrip_response(Response {
+            id: 1,
+            body: ResponseBody::Stats(StatsFrame::default()),
+        });
+    }
+
+    #[test]
+    fn trace_reply_round_trips() {
+        roundtrip_response(Response {
+            id: 10,
+            body: ResponseBody::Trace(TraceFrame {
+                trace_id: (1 << 32) | 3,
+                spans: vec![
+                    SpanWire {
+                        span_id: 0,
+                        parent_id: 0,
+                        name: "admission.enqueue".into(),
+                        start_us: 10,
+                        dur_us: 0,
+                        instant: true,
+                        args: vec![("class".into(), "interactive".into())],
+                    },
+                    SpanWire {
+                        span_id: 1,
+                        parent_id: 0,
+                        name: "admission.wait".into(),
+                        start_us: 10,
+                        dur_us: 420,
+                        instant: false,
+                        args: vec![],
+                    },
+                    SpanWire {
+                        span_id: 2,
+                        parent_id: 0,
+                        name: "serve.request".into(),
+                        start_us: 430,
+                        dur_us: 1_800,
+                        instant: false,
+                        args: vec![],
+                    },
+                ],
+            }),
+        });
+        // Unknown trace id answers with an empty frame.
+        roundtrip_response(Response {
+            id: 11,
+            body: ResponseBody::Trace(TraceFrame {
+                trace_id: 0,
+                spans: vec![],
+            }),
         });
     }
 

@@ -30,15 +30,19 @@
 use crate::admission::{AdmissionConfig, AdmissionQueue, Class};
 use crate::cache::{CacheConfig, CacheInvalidator, CacheStats, EpochCache};
 use crate::proto::{
-    errcode, Request, RequestBody, Response, ResponseBody, TableHeader, CHUNK_ROWS,
+    errcode, AnomalyWire, Request, RequestBody, Response, ResponseBody, SpanWire, StatsFrame,
+    TableHeader, TraceFrame, CHUNK_ROWS,
 };
 use crate::transport::{duplex, Endpoint, TransportError};
+use obs::{EventKind, Histogram};
 use spate_core::framework::{ExplorationFramework, IngestStats, SpaceReport};
 use spate_core::index::Covering;
 use spate_core::query::{project_snapshot_refs, Coverage, ExactResult, Query, QueryResult};
-use spate_core::{DecayReport, SpateFramework};
+use spate_core::{
+    AnomalyRecord, DecayReport, MetaConfig, MetaMonitor, MetaSummary, SpateFramework,
+};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -68,6 +72,12 @@ pub struct ServeConfig {
     pub prefetch: bool,
     /// Max epochs prefetched ahead of a served window.
     pub prefetch_lookahead: u32,
+    /// Tune the meta-highlights monitor (θ, arming ticks, history).
+    pub meta: MetaConfig,
+    /// When set, a background thread ticks the meta-highlights monitor at
+    /// this interval. When `None` (the default, and what deterministic
+    /// harnesses want) the operator drives it via [`Server::monitor_tick`].
+    pub monitor_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +92,8 @@ impl Default for ServeConfig {
             cache_capacity_per_shard: 16,
             prefetch: true,
             prefetch_lookahead: 4,
+            meta: MetaConfig::default(),
+            monitor_interval: None,
         }
     }
 }
@@ -115,6 +127,15 @@ struct Job {
     endpoint: Endpoint,
     request: Request,
     queued_at: Instant,
+    /// End-to-end trace id minted at admission: `(conn << 32) | request_id`.
+    trace_id: u64,
+}
+
+/// The trace id a request's spans are filed under — stable across the
+/// reader thread that admits it and the worker that serves it, and
+/// computable client-side for "why was request R slow" lookups.
+pub fn trace_id_for(conn: u64, request_id: u64) -> u64 {
+    (conn << 32) | (request_id & 0xFFFF_FFFF)
 }
 
 struct Shared {
@@ -125,6 +146,14 @@ struct Shared {
     stats: StatsCells,
     /// Last served window per connection, for prefetch containment.
     sessions: Mutex<HashMap<u64, (u32, u32)>>,
+    /// Pre-resolved labeled latency series — workers record without
+    /// re-interning (`serve.latency_us{class="..."}`).
+    lat_interactive: Arc<Histogram>,
+    lat_scan: Arc<Histogram>,
+    /// θ-rarity self-monitoring over the metric registry.
+    monitor: Mutex<MetaMonitor>,
+    /// Set on shutdown to stop the optional monitor thread.
+    stop: AtomicBool,
 }
 
 /// The serving tier: worker pool + admission queue + shared cache around
@@ -133,10 +162,15 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    monitor_thread: Mutex<Option<JoinHandle<()>>>,
     /// Server-side endpoints, closed on shutdown to unblock readers.
     conn_endpoints: Mutex<Vec<Endpoint>>,
-    next_conn: AtomicU64,
 }
+
+/// Connection ids are allocated process-wide, not per server: the flight
+/// recorder is process-global and trace ids embed the conn id, so two
+/// servers in one process (tests) must never mint colliding trace ids.
+static NEXT_CONN: AtomicU64 = AtomicU64::new(0);
 
 impl Server {
     /// Take ownership of a framework and start serving. The cache
@@ -155,9 +189,16 @@ impl Server {
                 interactive_depth: config.interactive_depth,
                 scan_depth: config.scan_depth,
             }),
-            config: config.clone(),
             stats: StatsCells::default(),
             sessions: Mutex::new(HashMap::new()),
+            lat_interactive: obs::histogram_labeled(
+                "serve.latency_us",
+                &[("class", "interactive")],
+            ),
+            lat_scan: obs::histogram_labeled("serve.latency_us", &[("class", "scan")]),
+            monitor: Mutex::new(MetaMonitor::new(config.meta)),
+            stop: AtomicBool::new(false),
+            config: config.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -165,12 +206,16 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        let monitor_thread = config.monitor_interval.map(|interval| {
+            let shared = shared.clone();
+            std::thread::spawn(move || monitor_loop(&shared, interval))
+        });
         Self {
             shared,
             workers: Mutex::new(workers),
             readers: Mutex::new(Vec::new()),
+            monitor_thread: Mutex::new(monitor_thread),
             conn_endpoints: Mutex::new(Vec::new()),
-            next_conn: AtomicU64::new(0),
         }
     }
 
@@ -178,13 +223,14 @@ impl Server {
     /// wrapper. Spawns the per-connection reader thread.
     pub fn connect(&self) -> ClientConn {
         let (client_ep, server_ep) = duplex();
-        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+        let conn = NEXT_CONN.fetch_add(1, Ordering::Relaxed) + 1;
         self.conn_endpoints.lock().unwrap().push(server_ep.clone());
         let shared = self.shared.clone();
         let reader = std::thread::spawn(move || reader_loop(&shared, conn, server_ep));
         self.readers.lock().unwrap().push(reader);
         ClientConn {
             ep: client_ep,
+            conn_id: conn,
             next_id: 0,
         }
     }
@@ -227,12 +273,34 @@ impl Server {
         self.shared.queue.depth()
     }
 
+    /// Advance the meta-highlights monitor one window: sample every
+    /// telemetry stream, feed the θ-rarity tables, return what fired.
+    /// Deterministic harnesses call this at barrier points instead of
+    /// configuring [`ServeConfig::monitor_interval`].
+    pub fn monitor_tick(&self) -> Vec<AnomalyRecord> {
+        self.shared.monitor.lock().unwrap().tick(obs::global())
+    }
+
+    /// Monitor counters so far (ticks, anomalies, deterministic subset).
+    pub fn meta_summary(&self) -> MetaSummary {
+        self.shared.monitor.lock().unwrap().summary()
+    }
+
+    /// Recent anomaly records, oldest first (bounded history).
+    pub fn anomalies(&self) -> Vec<AnomalyRecord> {
+        self.shared.monitor.lock().unwrap().recent()
+    }
+
     /// Graceful shutdown: stop admitting, drain queued work, join the
     /// pool, hang up every connection. Returns the final stats.
     pub fn shutdown(self) -> ServeStats {
+        self.shared.stop.store(true, Ordering::Relaxed);
         self.shared.queue.close();
         for w in self.workers.lock().unwrap().drain(..) {
             let _ = w.join();
+        }
+        if let Some(m) = self.monitor_thread.lock().unwrap().take() {
+            let _ = m.join();
         }
         for ep in self.conn_endpoints.lock().unwrap().drain(..) {
             ep.close_both();
@@ -241,6 +309,23 @@ impl Server {
             let _ = r.join();
         }
         self.stats()
+    }
+}
+
+/// Optional background driver of the meta-highlights monitor.
+fn monitor_loop(shared: &Shared, interval: Duration) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        // Sleep in small slices so shutdown is prompt.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !shared.stop.load(Ordering::Relaxed) {
+            let slice = Duration::from_millis(10).min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        shared.monitor.lock().unwrap().tick(obs::global());
     }
 }
 
@@ -258,16 +343,38 @@ fn reader_loop(shared: &Shared, conn: u64, ep: Endpoint) {
     loop {
         match ep.recv_request() {
             Ok(Some(request)) => {
+                // Control-plane frames are answered right here on the
+                // reader thread: they never queue, so introspection works
+                // even while the admission queue is shedding.
+                if request.body.is_control() {
+                    let _ = answer_control(shared, &ep, &request);
+                    continue;
+                }
                 let class = classify(&shared.config, &request.body);
                 let id = request.id;
+                let trace_id = trace_id_for(conn, id);
+                obs::trace::instant_for(
+                    trace_id,
+                    "admission.enqueue",
+                    &[
+                        ("class", class.label()),
+                        ("queue_depth", &shared.queue.depth().to_string()),
+                    ],
+                );
                 let job = Job {
                     conn,
                     endpoint: ep.clone(),
                     request,
                     queued_at: Instant::now(),
+                    trace_id,
                 };
                 if let Err(shed) = shared.queue.push(conn, class, job) {
                     shared.stats.shed_overflow.fetch_add(1, Ordering::Relaxed);
+                    obs::trace::instant_for(
+                        trace_id,
+                        "admission.shed_overflow",
+                        &[("queue_depth", &shed.queue_depth.to_string())],
+                    );
                     let _ = ep.send_response(&Response {
                         id,
                         body: ResponseBody::Shed {
@@ -305,6 +412,7 @@ fn worker_loop(shared: &Shared) {
         if job.queued_at.elapsed() > shared.config.queue_deadline {
             shared.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
             obs::inc("serve.shed.deadline");
+            obs::trace::instant_for(job.trace_id, "admission.shed_deadline", &[]);
             let _ = job.endpoint.send_response(&Response {
                 id: job.request.id,
                 body: ResponseBody::Shed {
@@ -318,9 +426,27 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn serve_one(shared: &Shared, class: Class, job: Job) {
+    // Install the trace context minted at admission: every span/event on
+    // this thread until the guard drops files under the request's trace.
+    let _trace = obs::trace::begin(job.trace_id);
+    // The queue wait was measured by timestamps on another thread; file
+    // it as an already-closed root span so the tree answers "how long did
+    // R sit in admission" next to "how long did R evaluate".
+    let waited = job.queued_at.elapsed();
+    let wait_ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
+    obs::trace::span_event(
+        "admission.wait",
+        obs::flight::now_ns().saturating_sub(wait_ns),
+        wait_ns,
+        &[("class", class.label())],
+    );
     let _span = obs::span("serve.request");
     let t0 = Instant::now();
     let id = job.request.id;
+    // Counted before the answer streams so a client that saw its reply
+    // and immediately asks for Stats reads its own request in the count.
+    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+    obs::inc("serve.queries");
     let sent = match &job.request.body {
         RequestBody::Explore {
             attributes,
@@ -336,16 +462,94 @@ fn serve_one(shared: &Shared, class: Class, job: Job) {
             *window,
         ),
         RequestBody::Sql { window, sql } => serve_sql(shared, &job.endpoint, id, *window, sql),
+        RequestBody::Stats | RequestBody::Trace { .. } => {
+            unreachable!("control frames are answered on the reader thread")
+        }
     };
     // A send error means the client vanished mid-answer; nothing to do.
     let _ = sent;
-    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
-    obs::inc("serve.queries");
     let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     match class {
-        Class::Interactive => obs::observe("serve.latency_us.interactive", micros),
-        Class::Scan => obs::observe("serve.latency_us.scan", micros),
+        Class::Interactive => shared.lat_interactive.record(micros),
+        Class::Scan => shared.lat_scan.record(micros),
     }
+}
+
+/// Answer an introspection frame in place (reader thread, no admission).
+fn answer_control(shared: &Shared, ep: &Endpoint, request: &Request) -> Result<(), TransportError> {
+    let body = match &request.body {
+        RequestBody::Stats => {
+            let (qi, qs) = shared.queue.depths();
+            let cache = shared.cache.stats();
+            let (summary, recent) = {
+                let m = shared.monitor.lock().unwrap();
+                (m.summary(), m.recent())
+            };
+            let anomalies = recent
+                .into_iter()
+                .map(|a| AnomalyWire {
+                    tick: a.tick,
+                    stream: a.stream.to_string(),
+                    category: a.category,
+                    share_milli: (a.share * 1000.0).round().min(f64::from(u32::MAX)) as u32,
+                    deterministic: a.kind == spate_core::StreamKind::Deterministic,
+                })
+                .collect();
+            let counters = obs::global()
+                .counters_snapshot()
+                .into_iter()
+                .map(|(name, c)| (name, c.get()))
+                .collect();
+            let s = &shared.stats;
+            ResponseBody::Stats(StatsFrame {
+                queries: s.queries.load(Ordering::Relaxed),
+                rows_streamed: s.rows_streamed.load(Ordering::Relaxed),
+                shed_overflow: s.shed_overflow.load(Ordering::Relaxed),
+                shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
+                protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+                queue_interactive: qi as u32,
+                queue_scan: qs as u32,
+                cache_hits: cache.hits,
+                cache_misses: cache.misses,
+                cache_evictions: cache.evictions,
+                cache_invalidations: cache.invalidations,
+                meta_ticks: summary.ticks,
+                anomalies_total: summary.anomalies_total,
+                anomalies_deterministic: summary.anomalies_deterministic,
+                anomalies,
+                counters,
+            })
+        }
+        RequestBody::Trace { trace_id } => {
+            let resolved = if *trace_id == 0 {
+                obs::flight().latest_trace_id().unwrap_or(0)
+            } else {
+                *trace_id
+            };
+            let spans = obs::flight()
+                .trace(resolved)
+                .into_iter()
+                .map(|e| SpanWire {
+                    span_id: e.span_id,
+                    parent_id: e.parent_id,
+                    name: e.name,
+                    start_us: e.start_ns / 1_000,
+                    dur_us: e.dur_ns / 1_000,
+                    instant: e.kind == EventKind::Instant,
+                    args: e.args,
+                })
+                .collect();
+            ResponseBody::Trace(TraceFrame {
+                trace_id: resolved,
+                spans,
+            })
+        }
+        _ => unreachable!("answer_control is only called for control frames"),
+    };
+    ep.send_response(&Response {
+        id: request.id,
+        body,
+    })
 }
 
 fn serve_explore(
@@ -533,6 +737,7 @@ fn stream_exact(
 /// the window is contained in the session's previous one (zoom-in — the
 /// cache is already warm there).
 fn prefetch(shared: &Shared, conn: u64, window: (u32, u32), fw: &SpateFramework) {
+    let _span = obs::span("serve.prefetch");
     let contained = {
         let mut sessions = shared.sessions.lock().unwrap();
         let prev = sessions.insert(conn, window);
@@ -574,10 +779,17 @@ fn evaluate_cached(fw: &SpateFramework, cache: &EpochCache, q: &Query) -> QueryR
             let requested = leaves.len() as u32;
             let mut arcs: Vec<Arc<Snapshot>> = Vec::with_capacity(leaves.len());
             let mut unavailable = 0u32;
+            let traced = obs::trace::current().is_some();
             for leaf in &leaves {
                 if let Some(hit) = cache.get(leaf.epoch) {
+                    if traced {
+                        obs::trace::event("cache.hit", &[("epoch", &leaf.epoch.0.to_string())]);
+                    }
                     arcs.push(hit);
                 } else {
+                    if traced {
+                        obs::trace::event("cache.miss", &[("epoch", &leaf.epoch.0.to_string())]);
+                    }
                     match fw.load_epoch(leaf.epoch) {
                         Some(snap) => {
                             let arc = Arc::new(snap);
@@ -691,6 +903,10 @@ pub enum Reply {
         code: u8,
         message: String,
     },
+    /// Live introspection snapshot (stats + meta-highlights anomalies).
+    Stats(StatsFrame),
+    /// One request's span tree out of the flight recorder.
+    Trace(TraceFrame),
 }
 
 impl Reply {
@@ -712,10 +928,41 @@ impl Reply {
 /// pipelining; this convenience wrapper doesn't need it).
 pub struct ClientConn {
     ep: Endpoint,
+    conn_id: u64,
     next_id: u64,
 }
 
 impl ClientConn {
+    /// The server-assigned connection id (the high half of trace ids).
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// The trace id the server filed our most recent request under, or
+    /// `None` before the first request. Feed it to [`ClientConn::trace`]
+    /// to ask "why was that request slow".
+    pub fn last_trace_id(&self) -> Option<u64> {
+        (self.next_id > 0).then(|| trace_id_for(self.conn_id, self.next_id))
+    }
+
+    /// Fetch the server's live stats snapshot (answered on the reader
+    /// thread — works even while the admission queue sheds).
+    pub fn stats(&mut self) -> Result<StatsFrame, TransportError> {
+        match self.roundtrip(RequestBody::Stats)? {
+            Reply::Stats(frame) => Ok(frame),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Fetch one trace's span tree; `trace_id == 0` means "the latest
+    /// trace the server recorded".
+    pub fn trace(&mut self, trace_id: u64) -> Result<TraceFrame, TransportError> {
+        match self.roundtrip(RequestBody::Trace { trace_id })? {
+            Reply::Trace(frame) => Ok(frame),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
     /// Run an exploration query `Q(a, b, w)`.
     pub fn explore(
         &mut self,
@@ -815,6 +1062,8 @@ impl ClientConn {
                     return Ok(Reply::ServerError { code, message })
                 }
                 ResponseBody::Unavailable => return Ok(Reply::Unavailable),
+                ResponseBody::Stats(frame) => return Ok(Reply::Stats(frame)),
+                ResponseBody::Trace(frame) => return Ok(Reply::Trace(frame)),
             }
         }
     }
@@ -823,4 +1072,9 @@ impl ClientConn {
     pub fn close(self) {
         self.ep.close();
     }
+}
+
+fn unexpected_reply(reply: &Reply) -> TransportError {
+    let _ = reply;
+    TransportError::Proto(crate::proto::ProtoError::BadTag(0))
 }

@@ -200,13 +200,100 @@ proptest! {
     }
 
     #[test]
+    fn introspection_requests_round_trip(
+        id in any::<u64>(),
+        trace_id in any::<u64>(),
+        stats in any::<bool>(),
+    ) {
+        let body = if stats {
+            RequestBody::Stats
+        } else {
+            RequestBody::Trace { trace_id }
+        };
+        roundtrip_request(&Request { id, body });
+    }
+
+    #[test]
+    fn introspection_replies_round_trip(
+        id in any::<u64>(),
+        counts in proptest::collection::vec(any::<u64>(), 14),
+        anoms in proptest::collection::vec(
+            ((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..12)),
+             (proptest::collection::vec(any::<u8>(), 0..12), any::<u32>(), any::<bool>())),
+            0..6,
+        ),
+        counters in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..20), any::<u64>()),
+            0..10,
+        ),
+        spans in proptest::collection::vec(
+            ((any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..16)),
+             (any::<u64>(), any::<u64>(), any::<bool>(),
+              proptest::collection::vec(
+                  (proptest::collection::vec(any::<u8>(), 0..8),
+                   proptest::collection::vec(any::<u8>(), 0..8)),
+                  0..3,
+              ))),
+            0..8,
+        ),
+        trace_id in any::<u64>(),
+        pick_stats in any::<bool>(),
+    ) {
+        let body = if pick_stats {
+            ResponseBody::Stats(spate_serve::proto::StatsFrame {
+                queries: counts[0],
+                rows_streamed: counts[1],
+                shed_overflow: counts[2],
+                shed_deadline: counts[3],
+                protocol_errors: counts[4],
+                queue_interactive: counts[5] as u32,
+                queue_scan: counts[6] as u32,
+                cache_hits: counts[7],
+                cache_misses: counts[8],
+                cache_evictions: counts[9],
+                cache_invalidations: counts[10],
+                meta_ticks: counts[11],
+                anomalies_total: counts[12],
+                anomalies_deterministic: counts[13],
+                anomalies: anoms.iter().map(|((t, s), (c, m, d))| {
+                    spate_serve::proto::AnomalyWire {
+                        tick: *t,
+                        stream: word(s),
+                        category: word(c),
+                        share_milli: *m,
+                        deterministic: *d,
+                    }
+                }).collect(),
+                counters: counters.iter().map(|(n, v)| (word(n), *v)).collect(),
+            })
+        } else {
+            ResponseBody::Trace(spate_serve::proto::TraceFrame {
+                trace_id,
+                spans: spans.iter().map(|((sid, pid, n), (st, du, i, args))| {
+                    spate_serve::proto::SpanWire {
+                        span_id: *sid,
+                        parent_id: *pid,
+                        name: word(n),
+                        start_us: *st,
+                        dur_us: *du,
+                        instant: *i,
+                        args: args.iter().map(|(k, v)| (word(k), word(v))).collect(),
+                    }
+                }).collect(),
+            })
+        };
+        roundtrip_response(&Response { id, body });
+    }
+
+    #[test]
     fn garbage_payloads_behind_valid_headers_never_panic(
-        kind_pick in 0usize..10,
+        kind_pick in 0usize..14,
         payload in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
         let kinds = [
             kind::EXPLORE, kind::SQL, kind::HEADER, kind::ROW_CHUNK, kind::SUMMARY,
             kind::COVERAGE, kind::DONE, kind::ERROR, kind::SHED, kind::UNAVAILABLE,
+            kind::STATS, kind::TRACE, kind::STATS_REPLY, kind::TRACE_REPLY,
         ];
         let k = kinds[kind_pick];
         // Both decoders must handle any payload under any valid kind
