@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale 1/N] [--days D] [--unthrottled]
-//!       [--seed N] [--clients N] [--profile] [--metrics-json PATH]
+//!       [--seed N] [--clients N] [--cas] [--profile] [--metrics-json PATH]
 //!       [--introspect] [--trace-json PATH]
 //!
 //! EXPERIMENT: table1 | fig4 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
-//!             | decay | chaos | serve | trace | space-summary | all (default)
+//!             | decay | chaos | serve | trace | cas | space-summary
+//!             | all (default)
 //!
-//! --seed N             workload/fault-plan seed for the chaos, serve and
-//!                      trace experiments (default 7); two runs with the same
-//!                      seed print identical `chaos:`/`serve:`/`trace:` lines
+//! --seed N             workload/fault-plan seed for the chaos, serve, trace
+//!                      and cas experiments (default 7); two runs with the
+//!                      same seed print identical `chaos:`/`serve:`/`trace:`/
+//!                      `cas:` lines
 //! --clients N          concurrent clients for the serve experiment
 //!                      (default 8)
+//! --cas                run the chaos experiment over the content-addressed
+//!                      storage backend instead of the path backend
 //!
 //! --profile            print the span flame table (per-stage wall time)
 //!                      after the experiment finishes
@@ -42,6 +46,7 @@ fn main() {
     let mut introspect = false;
     let mut seed = 7u64;
     let mut clients = 8usize;
+    let mut cas_backend = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -81,6 +86,7 @@ fn main() {
                 i += 1;
                 clients = args[i].parse().expect("bad --clients");
             }
+            "--cas" => cas_backend = true,
             other if !other.starts_with("--") => experiment = other.to_string(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -108,9 +114,10 @@ fn main() {
         "fig7" | "fig8" | "fig9" | "fig10" => ingest_figs(&config),
         "fig11" | "fig12" => response_figs(&config),
         "decay" => decay_run(&config),
-        "chaos" => chaos_run(&config, seed),
+        "chaos" => chaos_run(&config, seed, cas_backend),
         "serve" => serve_run(&config, clients, seed, introspect),
         "trace" => trace_run(&config, seed),
+        "cas" => cas_run(&config, seed),
         "space-summary" => space_summary(&config),
         "all" => {
             fig4(&config);
@@ -165,14 +172,17 @@ EXPERIMENTS:
                      meta-highlights self-monitoring
     trace            trace one seeded request end-to-end (cold vs warm) and
                      print its span tree — \"why was request R slow\"
+    cas              content-addressed store vs. path store: dedup ratio,
+                     query equality, Merkle root, decay-as-GC leak gate
     space-summary    one-line total-space comparison
 
 FLAGS:
     --scale 1/N          trace scale relative to the paper's 5 GB (default 1/128)
     --days D             days of trace to generate
     --unthrottled        disable the cluster-disk I/O model
-    --seed N             seed for chaos/serve/trace workloads (default 7)
+    --seed N             seed for chaos/serve/trace/cas workloads (default 7)
     --clients N          concurrent clients for serve (default 8)
+    --cas                run chaos over the content-addressed backend
     --profile            print the span flame table after the experiment
     --metrics-json PATH  dump the metric registry as JSON
     --introspect         print live Stats/Trace frames after a serve run
@@ -319,14 +329,18 @@ fn decay_run(config: &BenchConfig) {
     println!("(paper Fig. 5: full resolution decays first, then day/month highlights)");
 }
 
-fn chaos_run(config: &BenchConfig, seed: u64) {
+fn chaos_run(config: &BenchConfig, seed: u64, cas: bool) {
     println!("\n## Chaos — seeded faults, repair, and degraded-coverage queries\n");
-    let r = experiments::chaos_experiment(config, seed);
-    // Every `chaos:` line is a pure function of (seed, scale, days) — CI
-    // runs the experiment twice and diffs them to enforce determinism.
+    let r = experiments::chaos_experiment_with(config, seed, cas);
+    // Every `chaos:` line is a pure function of (seed, scale, days, backend)
+    // — CI runs the experiment twice and diffs them to enforce determinism.
     println!(
-        "chaos: seed={} epochs={} ingest_retries={} ingest_failures={}",
-        r.seed, r.epochs_ingested, r.ingest_retries, r.ingest_failures
+        "chaos: seed={} backend={} epochs={} ingest_retries={} ingest_failures={}",
+        r.seed,
+        if r.cas { "cas" } else { "path" },
+        r.epochs_ingested,
+        r.ingest_retries,
+        r.ingest_failures
     );
     let f = &r.faults;
     println!(
@@ -370,6 +384,35 @@ fn chaos_run(config: &BenchConfig, seed: u64) {
     );
     println!(
         "(acceptance: data_loss=0, repair healed every injected fault, same seed → identical lines)"
+    );
+    write_bench_json(
+        "BENCH_CHAOS.json",
+        &[
+            ("experiment", "\"chaos\"".into()),
+            ("seed", r.seed.to_string()),
+            (
+                "backend",
+                format!("\"{}\"", if r.cas { "cas" } else { "path" }),
+            ),
+            ("epochs_ingested", r.epochs_ingested.to_string()),
+            ("ingest_retries", r.ingest_retries.to_string()),
+            ("ingest_failures", r.ingest_failures.to_string()),
+            ("data_loss_epochs", r.data_loss_epochs.to_string()),
+            ("repair_passes", r.faults.repair_passes.to_string()),
+            ("replicas_added", r.repair.replicas_added.to_string()),
+            (
+                "corrupt_replicas_dropped",
+                r.repair.corrupt_replicas_dropped.to_string(),
+            ),
+            ("queries_run", r.queries_run.to_string()),
+            ("inconsistent_coverage", r.inconsistent_coverage.to_string()),
+            ("coverage_served", r.final_coverage.served.to_string()),
+            ("coverage_decayed", r.final_coverage.decayed.to_string()),
+            (
+                "coverage_unavailable",
+                r.final_coverage.unavailable.to_string(),
+            ),
+        ],
     );
 }
 
@@ -435,6 +478,28 @@ fn serve_run(config: &BenchConfig, clients: usize, seed: u64, introspect: bool) 
     }
     println!(
         "(acceptance: stale_reads=0, protocol_errors=0, counts_agree=true, anomalies_deterministic=0, same seed → identical `serve:` lines)"
+    );
+    write_bench_json(
+        "BENCH_SERVE.json",
+        &[
+            ("experiment", "\"serve\"".into()),
+            ("seed", r.seed.to_string()),
+            ("clients", r.clients.to_string()),
+            ("queries", r.queries.to_string()),
+            ("rows_streamed", r.rows_streamed.to_string()),
+            ("throughput_qps", format!("{:.1}", r.throughput())),
+            ("wall_secs", format!("{:.3}", r.wall_secs)),
+            ("interactive_p50_us", i50.to_string()),
+            ("interactive_p95_us", i95.to_string()),
+            ("interactive_p99_us", i99.to_string()),
+            ("scan_p50_us", s50.to_string()),
+            ("scan_p95_us", s95.to_string()),
+            ("scan_p99_us", s99.to_string()),
+            ("shed_rate", format!("{:.4}", r.shed_rate())),
+            ("cache_hit_ratio", format!("{:.3}", r.cache.hit_ratio())),
+            ("stale_reads", r.stale_reads.to_string()),
+            ("protocol_errors", r.protocol_errors.to_string()),
+        ],
     );
 }
 
@@ -538,6 +603,102 @@ fn trace_run(config: &BenchConfig, seed: u64) {
     println!(
         "(acceptance: cold run misses once per window epoch, warm run hits every epoch, same seed → identical `trace:` lines)"
     );
+}
+
+fn cas_run(config: &BenchConfig, seed: u64) {
+    println!("\n## CAS — content-addressed store vs. path store, same seeded week\n");
+    let (r, perf) = experiments::cas_experiment(config, seed);
+    // `cas:` lines are a pure function of (seed, scale, days) — CI runs
+    // the experiment twice and diffs them byte-for-byte; the Merkle root
+    // doubles as a whole-store content fingerprint.
+    println!(
+        "cas: seed={} epochs={} raw_bytes={} path_bytes={} cas_bytes={} reduction_permille={}",
+        r.seed,
+        r.epochs,
+        r.raw_bytes,
+        r.path_bytes,
+        r.cas_bytes,
+        r.reduction_permille()
+    );
+    println!(
+        "cas: pack_bytes={} manifest_bytes={} dedup_hits={} dedup_bytes_saved={} unique_chunks={} packs={}",
+        r.pack_bytes, r.manifest_bytes, r.dedup_hits, r.dedup_bytes_saved, r.unique_chunks, r.packs
+    );
+    println!("cas: manifest_root={}", r.manifest_root);
+    println!(
+        "cas: queries_run={} results_equal={}",
+        r.queries_run, r.results_equal
+    );
+    println!(
+        "cas: delta_bytes={} delta_cas_bytes={}",
+        r.delta_bytes, r.delta_cas_bytes
+    );
+    println!(
+        "cas: decay_freed={} gc_swept={} unreferenced_chunks={} leak_bytes={}",
+        r.decay_freed, r.gc_swept, r.unreferenced_chunks, r.leak_bytes
+    );
+    println!(
+        "CAS stores the week in {:.2} MB vs {:.2} MB path files — {:.1}% smaller at equal query results",
+        r.cas_bytes as f64 / 1e6,
+        r.path_bytes as f64 / 1e6,
+        r.reduction_pct()
+    );
+    // Timing-dependent: never diffed, varies run to run.
+    println!(
+        "cas-perf: read_us path p50={} p95={} | cas p50={} p95={} | wall={:.3}s",
+        perf.path_read_p50_us,
+        perf.path_read_p95_us,
+        perf.cas_read_p50_us,
+        perf.cas_read_p95_us,
+        perf.wall_secs
+    );
+    println!(
+        "(acceptance: results_equal=true, reduction_permille>=200, leak_bytes=0, unreferenced_chunks=0, same seed → identical `cas:` lines)"
+    );
+    write_bench_json(
+        "BENCH_CAS.json",
+        &[
+            ("experiment", "\"cas\"".into()),
+            ("seed", r.seed.to_string()),
+            ("epochs", r.epochs.to_string()),
+            ("raw_bytes", r.raw_bytes.to_string()),
+            ("path_bytes", r.path_bytes.to_string()),
+            ("cas_bytes", r.cas_bytes.to_string()),
+            ("pack_bytes", r.pack_bytes.to_string()),
+            ("manifest_bytes", r.manifest_bytes.to_string()),
+            ("reduction_pct", format!("{:.2}", r.reduction_pct())),
+            ("reduction_permille", r.reduction_permille().to_string()),
+            ("dedup_hits", r.dedup_hits.to_string()),
+            ("dedup_bytes_saved", r.dedup_bytes_saved.to_string()),
+            ("delta_bytes", r.delta_bytes.to_string()),
+            ("delta_cas_bytes", r.delta_cas_bytes.to_string()),
+            ("manifest_root", format!("\"{}\"", r.manifest_root)),
+            ("results_equal", r.results_equal.to_string()),
+            (
+                "gc_reclaimed_bytes",
+                (r.decay_freed + r.gc_swept).to_string(),
+            ),
+            ("leak_bytes", r.leak_bytes.to_string()),
+            ("unreferenced_chunks", r.unreferenced_chunks.to_string()),
+            ("path_read_p95_us", perf.path_read_p95_us.to_string()),
+            ("cas_read_p95_us", perf.cas_read_p95_us.to_string()),
+            ("wall_secs", format!("{:.3}", perf.wall_secs)),
+        ],
+    );
+}
+
+/// Persist a flat machine-readable report next to the human-readable run
+/// output. Values arrive pre-formatted as JSON literals (numbers bare,
+/// strings quoted) so the writer stays dependency-free.
+fn write_bench_json(name: &str, fields: &[(&str, String)]) {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        out.push_str(&format!("  \"{k}\": {v}"));
+        out.push_str(if i + 1 == fields.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(name, out).unwrap_or_else(|e| panic!("writing {name}: {e}"));
+    println!("bench report written to {name}");
 }
 
 fn response_figs(config: &BenchConfig) {

@@ -2,16 +2,20 @@
 
 use crate::setup::{build_frameworks, ingest_all, BenchConfig, Frameworks};
 use codecs::table1_codecs as codec_list;
+use codecs::GzipLite;
 use dfs::{Dfs, DfsConfig, FaultConfig, FaultStatsSnapshot, IoModel, RepairReport};
 use spate_core::framework::{ExplorationFramework, SpateFramework};
 use spate_core::index::decay::DecayPolicy;
 use spate_core::query::{Coverage, Query, QueryResult};
 use spate_core::tasks;
+use spate_core::DeltaSnapshotStore;
+use std::sync::Arc;
 use std::time::Instant;
 use telco_trace::cells::BoundingBox;
 use telco_trace::entropy::EntropyProfile;
 use telco_trace::schema::{cdr, cell, nms};
 use telco_trace::time::{DayPeriod, EpochId, Weekday, EPOCHS_PER_DAY};
+use telco_trace::TraceGenerator;
 
 /// Names of the compared frameworks, in paper order.
 pub const FRAMEWORK_NAMES: [&str; 3] = ["RAW", "SHAHED", "SPATE"];
@@ -275,6 +279,9 @@ pub fn decay_experiment(config: &BenchConfig) -> DecayRunReport {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChaosReport {
     pub seed: u64,
+    /// True when the run exercised the content-addressed (CAS) storage
+    /// backend instead of the per-epoch path backend.
+    pub cas: bool,
     pub epochs_ingested: usize,
     /// Application-level ingest re-submissions after a storage error
     /// (write retries exhausted inside the DFS, a crashed datanode, …).
@@ -324,6 +331,14 @@ fn coverage_is_consistent(result: &QueryResult, requested: u32) -> bool {
 /// every simulated day, repairing daily, then staging a two-node blackout
 /// drill and verifying zero data loss once the cluster heals.
 pub fn chaos_experiment(config: &BenchConfig, seed: u64) -> ChaosReport {
+    chaos_experiment_with(config, seed, false)
+}
+
+/// [`chaos_experiment`] with a switchable storage backend: `cas = true`
+/// runs the identical fault schedule over the content-addressed store, so
+/// CI can hold dedup'd storage to the same zero-data-loss bar as the
+/// per-epoch path layout.
+pub fn chaos_experiment_with(config: &BenchConfig, seed: u64, cas: bool) -> ChaosReport {
     let mut generator = config.generator();
     let layout = generator.layout().clone();
 
@@ -348,7 +363,11 @@ pub fn chaos_experiment(config: &BenchConfig, seed: u64) -> ChaosReport {
         month_highlight_days: 365,
         year_highlight_days: 1000,
     };
-    let mut spate = SpateFramework::new(dfs, layout).with_decay(policy);
+    let mut spate = if cas {
+        SpateFramework::with_cas(dfs, layout).with_decay(policy)
+    } else {
+        SpateFramework::new(dfs, layout).with_decay(policy)
+    };
 
     let mut epochs_ingested = 0usize;
     let mut ingest_retries = 0u64;
@@ -448,6 +467,7 @@ pub fn chaos_experiment(config: &BenchConfig, seed: u64) -> ChaosReport {
 
     ChaosReport {
         seed,
+        cas,
         epochs_ingested,
         ingest_retries,
         ingest_failures,
@@ -464,6 +484,224 @@ pub fn chaos_experiment(config: &BenchConfig, seed: u64) -> ChaosReport {
         data_loss_epochs: final_coverage.unavailable,
         present_leaves: spate.index().present_leaves(),
     }
+}
+
+// --------------------------------------------------------------- CAS run
+
+/// Outcome of the `repro cas` experiment: the same seeded week ingested
+/// through the per-epoch path backend and the content-addressed backend
+/// side by side. Every field is a pure function of `(seed, scale, days)` —
+/// CI runs the experiment twice and diffs the printed `cas:` lines, so
+/// nothing time-derived lives here (timings go in [`CasPerf`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CasReport {
+    pub seed: u64,
+    pub epochs: usize,
+    /// Raw (uncompressed) trace bytes ingested.
+    pub raw_bytes: u64,
+    /// On-disk bytes of the path backend (one compressed file per epoch).
+    pub path_bytes: u64,
+    /// On-disk bytes of the CAS backend (packs + manifests).
+    pub cas_bytes: u64,
+    /// Compressed piece data (packs) share of `cas_bytes`.
+    pub pack_bytes: u64,
+    /// Compressed chunk metadata (manifests) share of `cas_bytes`.
+    pub manifest_bytes: u64,
+    /// Chunk-level dedup hits across the whole ingest.
+    pub dedup_hits: u64,
+    /// Raw bytes the dedup hits avoided re-storing.
+    pub dedup_bytes_saved: u64,
+    pub unique_chunks: u64,
+    pub packs: u64,
+    /// Merkle root over every retained epoch manifest — must be identical
+    /// across two runs with the same seed (the determinism gate).
+    pub manifest_root: String,
+    /// Query-equivalence check: identical queries against both backends.
+    pub queries_run: usize,
+    pub results_equal: bool,
+    /// Anchor+delta store bytes, plain DFS backend.
+    pub delta_bytes: u64,
+    /// Anchor+delta store bytes, CAS backend (anchors chunked raw).
+    pub delta_cas_bytes: u64,
+    /// Bytes released by evicting every epoch (decay-as-GC).
+    pub decay_freed: u64,
+    /// Deferred garbage reclaimed by the final sweep.
+    pub gc_swept: u64,
+    /// Chunks with zero references still indexed after full decay — must
+    /// be 0.
+    pub unreferenced_chunks: u64,
+    /// On-disk bytes remaining after full decay + GC (CAS root and the
+    /// CAS-backed delta store) — must be 0, the GC-leak gate.
+    pub leak_bytes: u64,
+}
+
+impl CasReport {
+    /// Storage reduction of the CAS backend vs. the path backend, percent.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.path_bytes == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.cas_bytes as f64 / self.path_bytes as f64)
+        }
+    }
+
+    /// Same reduction as integer permille — diffable and shell-comparable
+    /// (CI gates on `>= 200`, i.e. the 20 % acceptance bar).
+    pub fn reduction_permille(&self) -> i64 {
+        if self.path_bytes == 0 {
+            0
+        } else {
+            ((self.path_bytes as i128 - self.cas_bytes as i128) * 1000 / self.path_bytes as i128)
+                as i64
+        }
+    }
+}
+
+/// Wall-clock measurements of the CAS experiment — never diffed.
+#[derive(Debug, Clone, Copy)]
+pub struct CasPerf {
+    /// Per-epoch full-snapshot read latency, path backend (µs).
+    pub path_read_p50_us: u64,
+    pub path_read_p95_us: u64,
+    /// Per-epoch full-snapshot read latency, CAS backend (µs) — pays
+    /// manifest + pack reads plus hash verification.
+    pub cas_read_p50_us: u64,
+    pub cas_read_p95_us: u64,
+    pub wall_secs: f64,
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The `repro cas` experiment: ingest one seeded week into the path
+/// backend and the content-addressed backend on separate clusters, verify
+/// both answer identical queries, measure the dedup'd footprint (plus the
+/// anchor+delta variant of both), then decay everything and verify the GC
+/// reclaims every byte.
+pub fn cas_experiment(config: &BenchConfig, seed: u64) -> (CasReport, CasPerf) {
+    let wall = Instant::now();
+    let mut trace_config = config.trace_config();
+    trace_config.seed = seed;
+    let mut generator = TraceGenerator::new(trace_config);
+    let layout = generator.layout().clone();
+
+    let mut path_fw = SpateFramework::new(config.dfs(), layout.clone());
+    let mut cas_fw = SpateFramework::with_cas(config.dfs(), layout);
+    // The paper's anchor+delta scheme with and without content addressing,
+    // on their own clusters (anchors every 8 epochs, as in the core tests).
+    let delta_path = DeltaSnapshotStore::new(config.dfs(), Arc::new(GzipLite::default()), 8);
+    let delta_cas = DeltaSnapshotStore::new_cas(config.dfs(), Arc::new(GzipLite::default()), 8);
+
+    let mut raw_bytes = 0u64;
+    let mut epochs: Vec<EpochId> = Vec::new();
+    while let Some(snapshot) = generator.next_snapshot() {
+        raw_bytes += path_fw.ingest(&snapshot).raw_bytes;
+        cas_fw.ingest(&snapshot);
+        delta_path.store(&snapshot).expect("delta path ingest");
+        delta_cas.store(&snapshot).expect("delta cas ingest");
+        epochs.push(snapshot.epoch);
+    }
+
+    // Query equivalence: a full-day range scan and a midday point lookup
+    // per simulated day, answered by both backends.
+    let mut queries_run = 0usize;
+    let mut results_equal = true;
+    let last = epochs.last().copied().unwrap_or(EpochId(0));
+    for day in 0..config.days {
+        let start = EpochId(day * EPOCHS_PER_DAY);
+        let end = EpochId(day * EPOCHS_PER_DAY + EPOCHS_PER_DAY - 1);
+        if end > last {
+            break;
+        }
+        let mid = EpochId(start.0 + EPOCHS_PER_DAY / 2);
+        for q in [
+            Query::new(&["upflux", "downflux"], BoundingBox::everything())
+                .with_epoch_range(start.0, end.0),
+            Query::new(&["upflux"], BoundingBox::everything()).with_epoch_range(mid.0, mid.0),
+        ] {
+            let a = path_fw.query(&q);
+            let b = cas_fw.query(&q);
+            queries_run += 1;
+            if format!("{a:?}") != format!("{b:?}") {
+                results_equal = false;
+            }
+        }
+    }
+
+    // Read-path latency: one cold-ish full-snapshot load per epoch per
+    // backend (timing only — never part of the diffable report).
+    let mut path_us: Vec<u64> = Vec::with_capacity(epochs.len());
+    let mut cas_us: Vec<u64> = Vec::with_capacity(epochs.len());
+    for &e in &epochs {
+        let t = Instant::now();
+        path_fw.store().load(e).expect("path load");
+        path_us.push(t.elapsed().as_micros() as u64);
+        let t = Instant::now();
+        cas_fw.store().load(e).expect("cas load");
+        cas_us.push(t.elapsed().as_micros() as u64);
+    }
+    path_us.sort_unstable();
+    cas_us.sort_unstable();
+
+    let cas_store = cas_fw.store().cas().expect("cas backend").clone();
+    let stats = cas_store.stats();
+    let path_bytes = path_fw.store().stored_bytes();
+    let cas_bytes = cas_store.listed_bytes();
+    let pack_bytes = cas_store.pack_bytes();
+    let manifest_bytes = cas_store.manifest_bytes();
+    let manifest_root = cas_store.root_hash();
+    let unique_chunks = cas_store.chunk_count();
+    let packs = cas_store.pack_count();
+    let delta_bytes = delta_path.stored_bytes();
+    let delta_cas_bytes = delta_cas.stored_bytes();
+
+    // Full decay: evict every epoch (deltas before their anchors, hence
+    // reverse order), then sweep deferred garbage. Decay is the GC — after
+    // this the stores must hold zero bytes.
+    let mut decay_freed = 0u64;
+    for &e in epochs.iter().rev() {
+        decay_freed += cas_fw.store().evict(e).expect("cas evict");
+        delta_cas.evict(e).expect("delta cas evict");
+    }
+    let gc_swept = cas_store.gc();
+    let unreferenced_chunks = cas_store.unreferenced_chunks();
+    let leak_bytes = cas_store.listed_bytes() + delta_cas.stored_bytes();
+
+    let report = CasReport {
+        seed,
+        epochs: epochs.len(),
+        raw_bytes,
+        path_bytes,
+        cas_bytes,
+        pack_bytes,
+        manifest_bytes,
+        dedup_hits: stats.dedup_hits,
+        dedup_bytes_saved: stats.dedup_bytes_saved,
+        unique_chunks,
+        packs,
+        manifest_root,
+        queries_run,
+        results_equal,
+        delta_bytes,
+        delta_cas_bytes,
+        decay_freed,
+        gc_swept,
+        unreferenced_chunks,
+        leak_bytes,
+    };
+    let perf = CasPerf {
+        path_read_p50_us: percentile_us(&path_us, 0.50),
+        path_read_p95_us: percentile_us(&path_us, 0.95),
+        cas_read_p50_us: percentile_us(&cas_us, 0.50),
+        cas_read_p95_us: percentile_us(&cas_us, 0.95),
+        wall_secs: wall.elapsed().as_secs_f64(),
+    };
+    (report, perf)
 }
 
 // ----------------------------------------------------------- Figs. 11-12
@@ -692,6 +930,67 @@ mod tests {
         assert_eq!(first, again);
         let other = chaos_experiment(&config, 8);
         assert_ne!(first.faults, other.faults);
+    }
+
+    #[test]
+    fn chaos_over_cas_is_reproducible_and_lossless() {
+        let config = chaos_config();
+        let first = chaos_experiment_with(&config, 7, true);
+        assert!(first.cas);
+        // The content-addressed backend must clear the same bars as the
+        // path backend under the identical fault schedule.
+        assert_eq!(first.data_loss_epochs, 0, "{first:?}");
+        assert_eq!(first.ingest_failures, 0, "{first:?}");
+        assert_eq!(first.inconsistent_coverage, 0, "{first:?}");
+        assert!(first.blackout_degraded_cleanly, "{first:?}");
+        assert!(first.faults.corrupt_replicas_injected > 0, "{first:?}");
+        assert!(first.final_coverage.decayed > 0, "{first:?}");
+        assert_eq!(
+            first.final_coverage.served + first.final_coverage.decayed,
+            first.final_coverage.requested,
+            "{first:?}"
+        );
+        let again = chaos_experiment_with(&config, 7, true);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn cas_experiment_dedups_answers_identically_and_gcs_clean() {
+        // The default 1/128 bench scale, not the 1/2048 chaos scale: the
+        // per-epoch manifest floor is fixed-size, so the reduction ratio
+        // is only meaningful once epochs carry real data (at 1/2048 an
+        // epoch compresses to ~1.4 KB and metadata eats the win).
+        let config = BenchConfig {
+            scale: 1.0 / 128.0,
+            days: 7,
+            throttled: false,
+        };
+        let (r, _perf) = cas_experiment(&config, 7);
+        assert_eq!(r.epochs, 7 * EPOCHS_PER_DAY as usize, "{r:?}");
+        // Equal answers from both backends on every probe query.
+        assert!(r.queries_run > 0);
+        assert!(r.results_equal, "{r:?}");
+        // The acceptance bar: >= 20 % smaller than the path backend.
+        assert!(
+            r.reduction_permille() >= 200,
+            "reduction {}‰: {r:?}",
+            r.reduction_permille()
+        );
+        assert!(r.dedup_hits > 0, "{r:?}");
+        assert!(r.dedup_bytes_saved > 0, "{r:?}");
+        // Content addressing also shrinks the anchor+delta layout.
+        assert!(r.delta_cas_bytes < r.delta_bytes, "{r:?}");
+        // Decay-as-GC leaves nothing behind.
+        assert_eq!(r.unreferenced_chunks, 0, "{r:?}");
+        assert_eq!(r.leak_bytes, 0, "{r:?}");
+        assert!(r.decay_freed > 0, "{r:?}");
+
+        // Determinism: same seed → identical report, including the Merkle
+        // root; another seed → different trace, different root.
+        let (again, _) = cas_experiment(&config, 7);
+        assert_eq!(r, again);
+        let (other, _) = cas_experiment(&config, 8);
+        assert_ne!(r.manifest_root, other.manifest_root);
     }
 
     #[test]

@@ -11,14 +11,16 @@
 //! | [`response_experiment`] | Figs. 11–12 — response time of tasks T1–T8 on RAW/SHAHED/SPATE |
 //! | [`serve_experiment`] | `repro serve` — concurrent serving tier under mid-run decay (no paper counterpart) |
 //! | [`trace_experiment`] | `repro trace` — one request traced end-to-end, cold vs warm (no paper counterpart) |
+//! | [`cas_experiment`] | `repro cas` — content-addressed store vs. path store: dedup ratio, query equality, GC-leak gate (no paper counterpart) |
 
 pub mod experiments;
 pub mod serve_bench;
 pub mod setup;
 
 pub use experiments::{
-    chaos_experiment, fig4_entropy, ingest_experiment, response_experiment, table1_codecs,
-    ChaosReport, CodecRow, EntropyReport, IngestReport, ResponseReport,
+    cas_experiment, chaos_experiment, chaos_experiment_with, fig4_entropy, ingest_experiment,
+    response_experiment, table1_codecs, CasPerf, CasReport, ChaosReport, CodecRow, EntropyReport,
+    IngestReport, ResponseReport,
 };
 pub use serve_bench::{serve_experiment, trace_experiment, ServeReport, TraceReport};
 pub use setup::{build_frameworks, BenchConfig, Frameworks};

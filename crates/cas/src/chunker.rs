@@ -1,0 +1,546 @@
+//! Snapshot chunking: split the wire bytes into content-addressable pieces.
+//!
+//! The snapshot wire format is line-oriented CSV under `#SNAPSHOT` /
+//! `#TABLE` headers (see `telco_trace::snapshot`). When the bytes parse as
+//! that layout, the chunker transposes each table into per-column value
+//! streams and cuts every stream at *row-aligned* boundaries. Two things
+//! fall out of that:
+//!
+//! * **Dedup across epochs and columns.** The paper's Fig. 4 shows ≥ 30
+//!   all-zero CDR columns and > 100 columns under one bit of entropy; a
+//!   constant column is stored as one piece holding the single value
+//!   (replayed per row on assembly), so all such columns collapse to one
+//!   stored chunk — shared across every column with that value and every
+//!   epoch, regardless of per-epoch row counts.
+//! * **Better pack compression.** Columnar order groups same-typed values,
+//!   which the pack codec compresses far tighter than row-major text.
+//!
+//! Anything that does not parse (delta payloads, foreign blobs) falls back
+//! to fixed-size pieces — content addressing never requires the columnar
+//! layout, it only benefits from it.
+
+/// Piece-cutting parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunking {
+    /// Row-boundary quantum: pieces hold a multiple of this many rows, so
+    /// equal-content columns align across epochs with different row counts.
+    pub row_quantum: usize,
+    /// Target piece size in bytes for columnar streams.
+    pub target_piece_bytes: usize,
+    /// Fixed piece size for non-columnar (blob) payloads.
+    pub blob_piece_bytes: usize,
+    /// Columns whose stream is smaller than this coalesce with their
+    /// neighbors into shared group pieces instead of each cutting their
+    /// own. Every manifest entry costs ~36 bytes of incompressible
+    /// metadata, so a piece must be at least this big before per-column
+    /// dedup can pay for its own bookkeeping. `0` disables grouping
+    /// (every column cuts independently).
+    pub min_piece_bytes: usize,
+}
+
+impl Default for Chunking {
+    fn default() -> Self {
+        Self {
+            row_quantum: 64,
+            target_piece_bytes: 16384,
+            blob_piece_bytes: 8192,
+            min_piece_bytes: 4096,
+        }
+    }
+}
+
+/// How to reassemble the original bytes from the piece sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// Parsed snapshot: header line + per-table columnar piece runs.
+    Columnar {
+        /// The `#SNAPSHOT ...` line, including its newline.
+        header: Vec<u8>,
+        tables: Vec<TableLayout>,
+    },
+    /// Opaque payload cut into fixed-size pieces.
+    Blob { n_pieces: u32 },
+}
+
+/// Sentinel in [`TableLayout::pieces_per_col`]: the column is constant and
+/// stored as a single one-value piece replayed `rows` times on assembly.
+pub const CONSTANT_COL: u32 = u32::MAX;
+
+/// One `#TABLE` section in columnar form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableLayout {
+    /// The `#TABLE ...` line, including its newline.
+    pub header: Vec<u8>,
+    pub rows: u32,
+    pub cols: u32,
+    /// Piece count per column; pieces are emitted column 0 first, each
+    /// column's pieces in row order. A column with `0` pieces (while
+    /// `rows > 0`) continues the piece run opened by an earlier column:
+    /// small columns share grouped pieces (see [`Chunking::min_piece_bytes`]).
+    /// [`CONSTANT_COL`] marks a constant column holding one piece — the
+    /// single value, replayed `rows` times — which does not disturb any
+    /// group run spanning it.
+    pub pieces_per_col: Vec<u32>,
+}
+
+impl Layout {
+    /// Total pieces this layout references.
+    pub fn piece_count(&self) -> usize {
+        match self {
+            Layout::Columnar { tables, .. } => tables
+                .iter()
+                .flat_map(|t| t.pieces_per_col.iter())
+                .map(|&n| if n == CONSTANT_COL { 1 } else { n as usize })
+                .sum(),
+            Layout::Blob { n_pieces } => *n_pieces as usize,
+        }
+    }
+}
+
+/// Split `raw` into pieces plus the layout that reassembles them.
+/// Columnar when the bytes parse as the snapshot wire format, blob
+/// otherwise. `assemble(split(raw)) == raw` for any input.
+pub fn split(raw: &[u8], cfg: &Chunking) -> (Layout, Vec<Vec<u8>>) {
+    if let Some(columnar) = try_split_columnar(raw, cfg) {
+        return columnar;
+    }
+    let piece = cfg.blob_piece_bytes.max(1);
+    let pieces: Vec<Vec<u8>> = raw.chunks(piece).map(<[u8]>::to_vec).collect();
+    (
+        Layout::Blob {
+            n_pieces: pieces.len() as u32,
+        },
+        pieces,
+    )
+}
+
+fn try_split_columnar(raw: &[u8], cfg: &Chunking) -> Option<(Layout, Vec<Vec<u8>>)> {
+    if raw.is_empty() || *raw.last().unwrap() != b'\n' {
+        return None;
+    }
+    // Every line below excludes its terminating newline.
+    let lines: Vec<&[u8]> = raw[..raw.len() - 1].split(|&b| b == b'\n').collect();
+    let header_line = *lines.first()?;
+    if !header_line.starts_with(b"#SNAPSHOT ") {
+        return None;
+    }
+    let mut header = header_line.to_vec();
+    header.push(b'\n');
+
+    let mut tables = Vec::new();
+    let mut pieces = Vec::new();
+    let mut i = 1;
+    while i < lines.len() {
+        let table_line = lines[i];
+        if !table_line.starts_with(b"#TABLE ") {
+            return None; // trailing junk: not the expected layout
+        }
+        let text = std::str::from_utf8(table_line).ok()?;
+        let rows: u32 = parse_kv(text, "rows")?;
+        let cols: u32 = parse_kv(text, "cols")?;
+        if cols == 0 {
+            return None;
+        }
+        i += 1;
+        if lines.len() - i < rows as usize {
+            return None;
+        }
+        // Transpose: column streams of newline-terminated values.
+        let mut streams: Vec<Vec<u8>> = vec![Vec::new(); cols as usize];
+        for r in 0..rows as usize {
+            let mut fields = 0usize;
+            for field in lines[i + r].split(|&b| b == b',') {
+                if fields >= cols as usize {
+                    return None;
+                }
+                streams[fields].extend_from_slice(field);
+                streams[fields].push(b'\n');
+                fields += 1;
+            }
+            if fields != cols as usize {
+                return None;
+            }
+        }
+        i += rows as usize;
+        let mut table_header = table_line.to_vec();
+        table_header.push(b'\n');
+        // Constant columns — the dedup goldmine (Fig. 4: ≥ 30 all-zero CDR
+        // columns) — store one piece holding the single value, replayed
+        // `rows` times on assembly, so every all-zero column of every epoch
+        // collapses to the same two-byte chunk. Other large columns cut
+        // their own row-aligned pieces; small varying columns coalesce with
+        // their neighbors into group pieces near the byte target, keeping
+        // the per-chunk manifest overhead amortized. Pieces are buffered
+        // per column so a group run may span constant columns without
+        // fragmenting; each group piece is owned by its first column.
+        let mut pieces_per_col = vec![0u32; cols as usize];
+        let mut col_pieces: Vec<Vec<Vec<u8>>> = vec![Vec::new(); cols as usize];
+        let mut group: Vec<u8> = Vec::new();
+        let mut group_col = 0usize;
+        for (c, stream) in streams.into_iter().enumerate() {
+            if let Some(value) = constant_value(&stream, rows) {
+                pieces_per_col[c] = CONSTANT_COL;
+                col_pieces[c].push(value);
+            } else if cfg.min_piece_bytes == 0 || stream.len() >= cfg.min_piece_bytes {
+                if !group.is_empty() {
+                    pieces_per_col[group_col] += 1;
+                    col_pieces[group_col].push(std::mem::take(&mut group));
+                }
+                let cuts = cut_row_aligned(&stream, rows, cfg);
+                pieces_per_col[c] = cuts.len() as u32;
+                col_pieces[c] = cuts;
+            } else if !stream.is_empty() {
+                if group.is_empty() {
+                    group_col = c;
+                } else if group.len() + stream.len() > cfg.target_piece_bytes.max(1) {
+                    pieces_per_col[group_col] += 1;
+                    col_pieces[group_col].push(std::mem::take(&mut group));
+                    group_col = c;
+                }
+                group.extend_from_slice(&stream);
+            }
+        }
+        if !group.is_empty() {
+            pieces_per_col[group_col] += 1;
+            col_pieces[group_col].push(group);
+        }
+        pieces.extend(col_pieces.into_iter().flatten());
+        tables.push(TableLayout {
+            header: table_header,
+            rows,
+            cols,
+            pieces_per_col,
+        });
+    }
+    if tables.is_empty() {
+        return None;
+    }
+    Some((Layout::Columnar { header, tables }, pieces))
+}
+
+/// If every row of `stream` holds the same value, return one copy of it
+/// (newline included). Requires at least two rows — a one-row column gains
+/// nothing from the constant encoding and groups better with its
+/// neighbors.
+fn constant_value(stream: &[u8], rows: u32) -> Option<Vec<u8>> {
+    if rows < 2 {
+        return None;
+    }
+    let first = &stream[..stream.iter().position(|&b| b == b'\n')? + 1];
+    if first.len() * rows as usize == stream.len()
+        && stream.chunks_exact(first.len()).all(|c| c == first)
+    {
+        Some(first.to_vec())
+    } else {
+        None
+    }
+}
+
+/// Cut one column stream at row boundaries, every `rows_per_piece` rows —
+/// a multiple of the row quantum chosen from the stream's mean value width
+/// so pieces land near the byte target. The per-piece row count depends
+/// only on row count and stream length, so identical column content yields
+/// identical pieces across epochs.
+fn cut_row_aligned(stream: &[u8], rows: u32, cfg: &Chunking) -> Vec<Vec<u8>> {
+    if rows == 0 {
+        debug_assert!(stream.is_empty());
+        return Vec::new();
+    }
+    let q = cfg.row_quantum.max(1);
+    let avg = stream.len().div_ceil(rows as usize).max(1);
+    let mut rows_per_piece = cfg.target_piece_bytes / avg / q * q;
+    if rows_per_piece == 0 {
+        rows_per_piece = q;
+    }
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_piece = 0usize;
+    for (pos, &b) in stream.iter().enumerate() {
+        if b == b'\n' {
+            in_piece += 1;
+            if in_piece == rows_per_piece {
+                out.push(stream[start..=pos].to_vec());
+                start = pos + 1;
+                in_piece = 0;
+            }
+        }
+    }
+    if start < stream.len() {
+        out.push(stream[start..].to_vec());
+    }
+    out
+}
+
+fn parse_kv<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
+    for part in line.split_whitespace() {
+        if let Some(v) = part.strip_prefix(key).and_then(|r| r.strip_prefix('=')) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Rebuild the original bytes from a layout and its pieces (in the order
+/// `split` emitted them). Fails on any count or shape mismatch.
+pub fn assemble(layout: &Layout, pieces: &[Vec<u8>]) -> Result<Vec<u8>, &'static str> {
+    if layout.piece_count() != pieces.len() {
+        return Err("piece count does not match layout");
+    }
+    match layout {
+        Layout::Blob { .. } => {
+            let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+            for p in pieces {
+                out.extend_from_slice(p);
+            }
+            Ok(out)
+        }
+        Layout::Columnar { header, tables } => {
+            let mut out = Vec::new();
+            out.extend_from_slice(header);
+            let mut next = 0usize;
+            for table in tables {
+                out.extend_from_slice(&table.header);
+                if table.pieces_per_col.len() != table.cols as usize {
+                    return Err("column count does not match layout");
+                }
+                // Rebuild each column's value stream. A column with zero
+                // pieces (while rows > 0) continues the piece run opened
+                // by an earlier column — grouped small columns share
+                // pieces — so each column consumes exactly `rows` values
+                // from the current run before the next run may begin.
+                // Constant columns replay their single-value piece `rows`
+                // times without touching the run.
+                let mut streams: Vec<Vec<u8>> = Vec::with_capacity(table.cols as usize);
+                let mut run: Vec<u8> = Vec::new();
+                let mut cursor = 0usize;
+                for &n in &table.pieces_per_col {
+                    if n == CONSTANT_COL {
+                        let value = &pieces[next];
+                        next += 1;
+                        if value.iter().position(|&b| b == b'\n') != Some(value.len() - 1) {
+                            return Err("constant piece is not one value");
+                        }
+                        let mut s = Vec::with_capacity(value.len() * table.rows as usize);
+                        for _ in 0..table.rows {
+                            s.extend_from_slice(value);
+                        }
+                        streams.push(s);
+                        continue;
+                    }
+                    if n > 0 {
+                        if cursor != run.len() {
+                            return Err("piece run has trailing rows");
+                        }
+                        run.clear();
+                        cursor = 0;
+                        for _ in 0..n {
+                            run.extend_from_slice(&pieces[next]);
+                            next += 1;
+                        }
+                    }
+                    let start = cursor;
+                    for _ in 0..table.rows {
+                        let end = run[cursor..]
+                            .iter()
+                            .position(|&b| b == b'\n')
+                            .map(|p| cursor + p)
+                            .ok_or("column stream ran out of rows")?;
+                        cursor = end + 1;
+                    }
+                    streams.push(run[start..cursor].to_vec());
+                }
+                if cursor != run.len() {
+                    return Err("piece run has trailing rows");
+                }
+                let mut cursors = vec![0usize; streams.len()];
+                for _ in 0..table.rows {
+                    for (c, stream) in streams.iter().enumerate() {
+                        let start = cursors[c];
+                        let end = stream[start..]
+                            .iter()
+                            .position(|&b| b == b'\n')
+                            .map(|p| start + p)
+                            .ok_or("column stream ran out of rows")?;
+                        if c > 0 {
+                            out.push(b',');
+                        }
+                        out.extend_from_slice(&stream[start..end]);
+                        cursors[c] = end + 1;
+                    }
+                    out.push(b'\n');
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telco_trace::{TraceConfig, TraceGenerator};
+
+    fn round_trip(raw: &[u8], cfg: &Chunking) -> Layout {
+        let (layout, pieces) = split(raw, cfg);
+        let back = assemble(&layout, &pieces).expect("assemble");
+        assert_eq!(back, raw, "chunker must be lossless");
+        layout
+    }
+
+    #[test]
+    fn real_snapshots_go_columnar_and_round_trip() {
+        let cfg = Chunking::default();
+        for snap in TraceGenerator::new(TraceConfig::tiny()).take(4) {
+            let layout = round_trip(&snap.to_bytes(), &cfg);
+            assert!(
+                matches!(layout, Layout::Columnar { .. }),
+                "wire snapshots must take the columnar path"
+            );
+        }
+    }
+
+    #[test]
+    fn opaque_bytes_fall_back_to_blob() {
+        let cfg = Chunking {
+            blob_piece_bytes: 8,
+            ..Chunking::default()
+        };
+        for raw in [
+            &b""[..],
+            &b"no trailing newline"[..],
+            &b"#SNAPSHOT but then garbage\nnot a table\n"[..],
+            &[0u8, 1, 2, 255, 254][..],
+        ] {
+            let layout = round_trip(raw, &cfg);
+            assert!(matches!(layout, Layout::Blob { .. }), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn constant_columns_repeat_pieces() {
+        // Two epochs with different row counts over one constant column:
+        // the full (quantum-aligned) pieces must be byte-identical.
+        let cfg = Chunking {
+            row_quantum: 4,
+            target_piece_bytes: 8,
+            min_piece_bytes: 0,
+            ..Chunking::default()
+        };
+        let make = |rows: usize| {
+            let mut s = String::from("#SNAPSHOT epoch=1 ts=0\n");
+            s.push_str(&format!("#TABLE CDR rows={rows} cols=1\n"));
+            for _ in 0..rows {
+                s.push_str("0\n");
+            }
+            s.into_bytes()
+        };
+        let (_, a) = split(&make(10), &cfg);
+        let (_, b) = split(&make(13), &cfg);
+        assert_eq!(a[0], b[0], "aligned full pieces dedup across epochs");
+        round_trip(&make(10), &cfg);
+        round_trip(&make(13), &cfg);
+    }
+
+    #[test]
+    fn small_columns_share_group_pieces_and_round_trip() {
+        // 6 narrow columns under the grouping floor plus one wide column:
+        // the narrow ones must coalesce (fewer pieces than columns) and
+        // everything must still reassemble exactly.
+        let cfg = Chunking {
+            row_quantum: 4,
+            target_piece_bytes: 64,
+            min_piece_bytes: 24,
+            ..Chunking::default()
+        };
+        let rows = 8usize;
+        let mut s = String::from("#SNAPSHOT epoch=1 ts=0\n");
+        s.push_str(&format!("#TABLE CDR rows={rows} cols=7\n"));
+        for r in 0..rows {
+            // Narrow columns vary per row so they group rather than take
+            // the constant-column path.
+            let narrow: Vec<String> = (0..6).map(|c| format!("{}", (r + c) % 10)).collect();
+            s.push_str(&format!(
+                "{},wide-value-{r:04}-padding-padding\n",
+                narrow.join(",")
+            ));
+        }
+        let raw = s.into_bytes();
+        let (layout, pieces) = split(&raw, &cfg);
+        let Layout::Columnar { tables, .. } = &layout else {
+            panic!("expected columnar");
+        };
+        let per_col = &tables[0].pieces_per_col;
+        assert!(
+            per_col.iter().filter(|&&n| n == 0).count() > 0,
+            "some columns must continue a shared group piece: {per_col:?}"
+        );
+        assert!(pieces.len() < 7, "grouping must merge small columns");
+        assert_eq!(assemble(&layout, &pieces).expect("assemble"), raw);
+    }
+
+    #[test]
+    fn constant_columns_collapse_to_one_value_piece() {
+        // Constant columns store a single value piece regardless of row
+        // count — identical across epochs — and a group run spans them
+        // without fragmenting.
+        let cfg = Chunking {
+            row_quantum: 4,
+            target_piece_bytes: 64,
+            min_piece_bytes: 24,
+            ..Chunking::default()
+        };
+        let make = |rows: usize| {
+            let mut s = String::from("#SNAPSHOT epoch=1 ts=0\n");
+            s.push_str(&format!("#TABLE CDR rows={rows} cols=4\n"));
+            for r in 0..rows {
+                // cols: varying, constant zero, varying, constant zero
+                s.push_str(&format!("{},0,{},0\n", r % 7, (r + 3) % 7));
+            }
+            s.into_bytes()
+        };
+        let (layout_a, pieces_a) = split(&make(9), &cfg);
+        let (_, pieces_b) = split(&make(14), &cfg);
+        let Layout::Columnar { tables, .. } = &layout_a else {
+            panic!("expected columnar");
+        };
+        let per_col = &tables[0].pieces_per_col;
+        assert_eq!(per_col[1], CONSTANT_COL);
+        assert_eq!(per_col[3], CONSTANT_COL);
+        assert_eq!(
+            per_col[2], 0,
+            "group run must span the constant column: {per_col:?}"
+        );
+        // The constant columns' pieces are the bare value, identical in
+        // both epochs despite different row counts.
+        let zero: Vec<Vec<u8>> = pieces_a
+            .iter()
+            .filter(|p| p.as_slice() == b"0\n")
+            .cloned()
+            .collect();
+        assert_eq!(zero.len(), 2);
+        assert!(pieces_b.iter().filter(|p| p.as_slice() == b"0\n").count() == 2);
+        round_trip(&make(9), &cfg);
+        round_trip(&make(14), &cfg);
+    }
+
+    #[test]
+    fn mismatched_pieces_are_rejected() {
+        let cfg = Chunking::default();
+        let snap = TraceGenerator::new(TraceConfig::tiny())
+            .next()
+            .unwrap()
+            .to_bytes();
+        let (layout, mut pieces) = split(&snap, &cfg);
+        pieces.pop();
+        assert!(assemble(&layout, &pieces).is_err());
+    }
+
+    #[test]
+    fn empty_table_sections_round_trip() {
+        let cfg = Chunking::default();
+        let raw = b"#SNAPSHOT epoch=0 ts=0\n#TABLE CDR rows=0 cols=200\n#TABLE NMS rows=0 cols=8\n";
+        let layout = round_trip(raw, &cfg);
+        assert!(matches!(layout, Layout::Columnar { .. }));
+        assert_eq!(layout.piece_count(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Content-addressed block store for SPATE snapshots.
+//!
+//! Sits between `core` storage and the replicated filesystem. An epoch's
+//! payload is split into pieces — per-attribute column slices when the
+//! snapshot wire format parses, fixed-size blobs otherwise — and each
+//! distinct piece is stored exactly once, addressed by its content hash.
+//! The pieces an epoch newly contributes are jointly compressed into one
+//! *pack* file (itself content-addressed); the epoch is then represented
+//! by a *manifest* listing its chunk references. Manifests roll up into
+//! day and month manifests and a single root hash mirroring the temporal
+//! index tree, so one hash authenticates an entire retained subtree.
+//!
+//! Consequences the rest of the system gets for free:
+//!
+//! - **Dedup**: constant or slow-moving columns (operator codes, filler
+//!   attributes, quiet NMS counters) hash to identical pieces across
+//!   epochs and are stored once.
+//! - **Decay is garbage collection**: dropping an epoch deletes one
+//!   manifest and releases refcounts; packs are deleted when their last
+//!   live chunk goes.
+//! - **End-to-end verification**: every read re-hashes manifest, pack and
+//!   piece bytes against their addresses, and a mismatch triggers a
+//!   targeted replica repair + re-fetch before the error surfaces.
+
+pub mod chunker;
+pub mod hash;
+pub mod manifest;
+pub mod store;
+
+pub use chunker::{Chunking, Layout};
+pub use hash::{sha256, ChunkHash};
+pub use manifest::{build_merkle, ChunkEntry, EpochManifest, Merkle};
+pub use store::{CasConfig, CasRecoverReport, CasStats, CasStore, PutReceipt};
+
+use codecs::CodecError;
+use dfs::DfsError;
+use std::fmt;
+
+/// Errors from the content-addressed store.
+#[derive(Debug)]
+pub enum CasError {
+    /// Filesystem-level failure.
+    Dfs(DfsError),
+    /// Pack compression or decompression failure.
+    Codec(CodecError),
+    /// The epoch is not in the store.
+    Missing(u32),
+    /// The epoch is already in the store (manifests are write-once).
+    AlreadyStored(u32),
+    /// Content failed hash verification or structural validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for CasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CasError::Dfs(e) => write!(f, "cas: dfs: {e}"),
+            CasError::Codec(e) => write!(f, "cas: codec: {e}"),
+            CasError::Missing(e) => write!(f, "cas: epoch {e} not stored"),
+            CasError::AlreadyStored(e) => write!(f, "cas: epoch {e} already stored"),
+            CasError::Corrupt(msg) => write!(f, "cas: corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CasError {}
+
+impl From<DfsError> for CasError {
+    fn from(e: DfsError) -> Self {
+        CasError::Dfs(e)
+    }
+}
+
+impl From<CodecError> for CasError {
+    fn from(e: CodecError) -> Self {
+        CasError::Codec(e)
+    }
+}

@@ -1,0 +1,395 @@
+//! Epoch manifests and the Merkle rollup.
+//!
+//! An epoch's *manifest* is the unit the rest of the warehouse sees: a
+//! compact binary record naming every piece of the snapshot by content
+//! hash, where it lives (pack, offset, length) and how to reassemble the
+//! original bytes. Manifests are themselves content-addressed — the stored
+//! manifest's hash is the epoch's Merkle leaf — and roll up the same
+//! temporal hierarchy as the index tree: epoch leaves hash into a **day
+//! manifest**, days into a **month manifest**, months into the **root**.
+//! One root hash therefore authenticates every byte of every retained
+//! epoch, and any two runs that ingested the same data agree on it.
+
+use crate::chunker::{self, Layout, TableLayout};
+use crate::hash::ChunkHash;
+use crate::CasError;
+use codecs::varint;
+use std::collections::BTreeMap;
+use telco_trace::time::EpochId;
+
+/// Magic prefix of an encoded epoch manifest.
+pub const MANIFEST_MAGIC: &[u8; 6] = b"CASMF1";
+
+/// One unique chunk referenced by a manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Content address of the (uncompressed) piece bytes.
+    pub hash: ChunkHash,
+    /// Index into [`EpochManifest::packs`].
+    pub pack: u32,
+    /// Byte offset in the pack's uncompressed stream.
+    pub offset: u64,
+    /// Piece length in bytes.
+    pub len: u64,
+}
+
+/// The content-addressed description of one stored epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochManifest {
+    pub epoch: u32,
+    /// Length of the reassembled payload, verified on read.
+    pub raw_len: u64,
+    pub layout: Layout,
+    /// Packs referenced, first-use order; entries point into this table.
+    pub packs: Vec<ChunkHash>,
+    /// Unique chunks, first-use order.
+    pub chunks: Vec<ChunkEntry>,
+    /// One entry per layout piece: index into [`Self::chunks`]. Repeated
+    /// indices are how intra-epoch dedup shows up on disk.
+    pub refs: Vec<u32>,
+}
+
+impl EpochManifest {
+    /// Deterministic binary encoding (varints + raw hashes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.chunks.len() * 24 + self.refs.len() * 2);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        varint::write_u32(&mut out, self.epoch);
+        varint::write_u64(&mut out, self.raw_len);
+        varint::write_u64(&mut out, self.packs.len() as u64);
+        for p in &self.packs {
+            out.extend_from_slice(&p.0);
+        }
+        varint::write_u64(&mut out, self.chunks.len() as u64);
+        for c in &self.chunks {
+            out.extend_from_slice(&c.hash.0);
+            varint::write_u32(&mut out, c.pack);
+            varint::write_u64(&mut out, c.offset);
+            varint::write_u64(&mut out, c.len);
+        }
+        varint::write_u64(&mut out, self.refs.len() as u64);
+        for &r in &self.refs {
+            varint::write_u32(&mut out, r);
+        }
+        encode_layout(&mut out, &self.layout);
+        out
+    }
+
+    /// Decode [`Self::encode`] output, rejecting anything malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CasError> {
+        let corrupt = |what: &str| CasError::Corrupt(format!("manifest: {what}"));
+        if bytes.len() < MANIFEST_MAGIC.len() || &bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let mut pos = MANIFEST_MAGIC.len();
+        let epoch = varint::read_u32(bytes, &mut pos).map_err(|_| corrupt("epoch"))?;
+        let raw_len = varint::read_u64(bytes, &mut pos).map_err(|_| corrupt("raw_len"))?;
+        let n_packs = read_count(bytes, &mut pos, "packs")?;
+        let mut packs = Vec::with_capacity(n_packs.min(MAX_PREALLOC));
+        for _ in 0..n_packs {
+            packs.push(read_hash(bytes, &mut pos)?);
+        }
+        let n_chunks = read_count(bytes, &mut pos, "chunks")?;
+        let mut chunks = Vec::with_capacity(n_chunks.min(MAX_PREALLOC));
+        for _ in 0..n_chunks {
+            let hash = read_hash(bytes, &mut pos)?;
+            let pack = varint::read_u32(bytes, &mut pos).map_err(|_| corrupt("chunk pack"))?;
+            let offset = varint::read_u64(bytes, &mut pos).map_err(|_| corrupt("chunk offset"))?;
+            let len = varint::read_u64(bytes, &mut pos).map_err(|_| corrupt("chunk len"))?;
+            if pack as usize >= packs.len() {
+                return Err(corrupt("chunk pack out of range"));
+            }
+            chunks.push(ChunkEntry {
+                hash,
+                pack,
+                offset,
+                len,
+            });
+        }
+        let n_refs = read_count(bytes, &mut pos, "refs")?;
+        let mut refs = Vec::with_capacity(n_refs.min(MAX_PREALLOC));
+        for _ in 0..n_refs {
+            let r = varint::read_u32(bytes, &mut pos).map_err(|_| corrupt("ref"))?;
+            if r as usize >= chunks.len() {
+                return Err(corrupt("ref out of range"));
+            }
+            refs.push(r);
+        }
+        let layout = decode_layout(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        if layout.piece_count() != refs.len() {
+            return Err(corrupt("layout/ref count mismatch"));
+        }
+        Ok(Self {
+            epoch,
+            raw_len,
+            layout,
+            packs,
+            chunks,
+            refs,
+        })
+    }
+}
+
+/// Cap decoded collection sizes so a corrupt length prefix cannot commit
+/// unbounded memory before validation catches it.
+const MAX_ITEMS: usize = 1 << 24;
+/// Never pre-reserve more than this many entries from an untrusted count;
+/// vectors still grow on demand past it once real data validates.
+const MAX_PREALLOC: usize = 1 << 14;
+
+fn read_count(bytes: &[u8], pos: &mut usize, what: &str) -> Result<usize, CasError> {
+    let n = varint::read_u64(bytes, pos)
+        .map_err(|_| CasError::Corrupt(format!("manifest: {what} count")))?;
+    if n as usize > MAX_ITEMS {
+        return Err(CasError::Corrupt(format!("manifest: {what} count too big")));
+    }
+    Ok(n as usize)
+}
+
+fn read_hash(bytes: &[u8], pos: &mut usize) -> Result<ChunkHash, CasError> {
+    let end = *pos + ChunkHash::LEN;
+    if end > bytes.len() {
+        return Err(CasError::Corrupt("manifest: truncated hash".into()));
+    }
+    let mut h = [0u8; 16];
+    h.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(ChunkHash(h))
+}
+
+fn read_bytes(bytes: &[u8], pos: &mut usize, what: &str) -> Result<Vec<u8>, CasError> {
+    let len = read_count(bytes, pos, what)?;
+    let end = *pos + len;
+    if end > bytes.len() {
+        return Err(CasError::Corrupt(format!("manifest: truncated {what}")));
+    }
+    let out = bytes[*pos..end].to_vec();
+    *pos = end;
+    Ok(out)
+}
+
+fn encode_layout(out: &mut Vec<u8>, layout: &Layout) {
+    match layout {
+        Layout::Blob { n_pieces } => {
+            out.push(0);
+            varint::write_u32(out, *n_pieces);
+        }
+        Layout::Columnar { header, tables } => {
+            out.push(1);
+            varint::write_u64(out, header.len() as u64);
+            out.extend_from_slice(header);
+            varint::write_u64(out, tables.len() as u64);
+            for t in tables {
+                varint::write_u64(out, t.header.len() as u64);
+                out.extend_from_slice(&t.header);
+                varint::write_u32(out, t.rows);
+                varint::write_u32(out, t.cols);
+                // LSB-tagged piece counts: a normal count n encodes as
+                // n << 1; the CONSTANT_COL sentinel encodes as 1. Tables
+                // hold dozens of constant columns per epoch, so spending
+                // one byte instead of a five-byte u32::MAX varint on each
+                // is a measurable share of total manifest weight.
+                for &n in &t.pieces_per_col {
+                    let tagged = if n == chunker::CONSTANT_COL {
+                        1
+                    } else {
+                        (n as u64) << 1
+                    };
+                    varint::write_u64(out, tagged);
+                }
+            }
+        }
+    }
+}
+
+fn decode_layout(bytes: &[u8], pos: &mut usize) -> Result<Layout, CasError> {
+    let corrupt = |what: &str| CasError::Corrupt(format!("manifest layout: {what}"));
+    let tag = *bytes.get(*pos).ok_or_else(|| corrupt("missing tag"))?;
+    *pos += 1;
+    match tag {
+        0 => {
+            let n = varint::read_u32(bytes, pos).map_err(|_| corrupt("blob pieces"))?;
+            Ok(Layout::Blob { n_pieces: n })
+        }
+        1 => {
+            let header = read_bytes(bytes, pos, "header")?;
+            let n_tables = read_count(bytes, pos, "tables")?;
+            let mut tables = Vec::with_capacity(n_tables.min(MAX_PREALLOC));
+            for _ in 0..n_tables {
+                let theader = read_bytes(bytes, pos, "table header")?;
+                let rows = varint::read_u32(bytes, pos).map_err(|_| corrupt("rows"))?;
+                let cols = varint::read_u32(bytes, pos).map_err(|_| corrupt("cols"))?;
+                if cols as usize > MAX_ITEMS {
+                    return Err(corrupt("cols too big"));
+                }
+                let mut pieces_per_col = Vec::with_capacity((cols as usize).min(MAX_PREALLOC));
+                for _ in 0..cols {
+                    let tagged =
+                        varint::read_u64(bytes, pos).map_err(|_| corrupt("piece count"))?;
+                    let n = if tagged == 1 {
+                        chunker::CONSTANT_COL
+                    } else if tagged & 1 == 0 && (tagged >> 1) < u64::from(u32::MAX) {
+                        (tagged >> 1) as u32
+                    } else {
+                        return Err(corrupt("piece count tag"));
+                    };
+                    pieces_per_col.push(n);
+                }
+                tables.push(TableLayout {
+                    header: theader,
+                    rows,
+                    cols,
+                    pieces_per_col,
+                });
+            }
+            Ok(Layout::Columnar { header, tables })
+        }
+        _ => Err(corrupt("unknown tag")),
+    }
+}
+
+/// The Merkle rollup over every retained epoch manifest: day and month
+/// manifests as canonical text, plus the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Merkle {
+    /// `(year, month, day)` → day manifest bytes.
+    pub days: BTreeMap<(u32, u32, u32), Vec<u8>>,
+    /// `(year, month)` → month manifest bytes.
+    pub months: BTreeMap<(u32, u32), Vec<u8>>,
+    /// Root manifest bytes.
+    pub root: Vec<u8>,
+    /// Hash of [`Self::root`]: one address for the whole retained corpus.
+    pub root_hash: ChunkHash,
+}
+
+/// Build the rollup from the epoch → manifest-hash leaves. Deterministic:
+/// same leaves (in any order) → byte-identical manifests and root.
+pub fn build_merkle(leaves: &BTreeMap<u32, ChunkHash>) -> Merkle {
+    let mut days: BTreeMap<(u32, u32, u32), String> = BTreeMap::new();
+    for (&epoch, hash) in leaves {
+        let c = EpochId(epoch).civil();
+        days.entry((c.year, c.month, c.day))
+            .or_insert_with(|| format!("#CASDAY {:04}-{:02}-{:02}\n", c.year, c.month, c.day))
+            .push_str(&format!("epoch {epoch} {}\n", hash.hex()));
+    }
+    let days: BTreeMap<(u32, u32, u32), Vec<u8>> =
+        days.into_iter().map(|(k, v)| (k, v.into_bytes())).collect();
+
+    let mut months: BTreeMap<(u32, u32), String> = BTreeMap::new();
+    for (&(y, m, d), bytes) in &days {
+        months
+            .entry((y, m))
+            .or_insert_with(|| format!("#CASMONTH {y:04}-{m:02}\n"))
+            .push_str(&format!(
+                "day {y:04}-{m:02}-{d:02} {}\n",
+                ChunkHash::of(bytes).hex()
+            ));
+    }
+    let months: BTreeMap<(u32, u32), Vec<u8>> = months
+        .into_iter()
+        .map(|(k, v)| (k, v.into_bytes()))
+        .collect();
+
+    let mut root = String::from("#CASROOT\n");
+    for (&(y, m), bytes) in &months {
+        root.push_str(&format!(
+            "month {y:04}-{m:02} {}\n",
+            ChunkHash::of(bytes).hex()
+        ));
+    }
+    let root = root.into_bytes();
+    let root_hash = ChunkHash::of(&root);
+    Merkle {
+        days,
+        months,
+        root,
+        root_hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::{split, Chunking};
+    use telco_trace::{TraceConfig, TraceGenerator};
+
+    fn sample_manifest() -> EpochManifest {
+        let snap = TraceGenerator::new(TraceConfig::tiny()).next().unwrap();
+        let raw = snap.to_bytes();
+        let (layout, pieces) = split(&raw, &Chunking::default());
+        let chunks: Vec<ChunkEntry> = pieces
+            .iter()
+            .scan(0u64, |off, p| {
+                let e = ChunkEntry {
+                    hash: ChunkHash::of(p),
+                    pack: 0,
+                    offset: *off,
+                    len: p.len() as u64,
+                };
+                *off += p.len() as u64;
+                Some(e)
+            })
+            .collect();
+        let refs = (0..chunks.len() as u32).collect();
+        EpochManifest {
+            epoch: snap.epoch.0,
+            raw_len: raw.len() as u64,
+            layout,
+            packs: vec![ChunkHash::of(b"pack")],
+            chunks,
+            refs,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample_manifest();
+        let bytes = m.encode();
+        assert_eq!(EpochManifest::decode(&bytes).unwrap(), m);
+        // Determinism: two encodes agree byte for byte.
+        assert_eq!(bytes, m.encode());
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_rejected() {
+        let bytes = sample_manifest().encode();
+        assert!(EpochManifest::decode(b"").is_err());
+        assert!(EpochManifest::decode(b"NOTMAGIC").is_err());
+        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(EpochManifest::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(EpochManifest::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn out_of_range_refs_are_rejected() {
+        let mut m = sample_manifest();
+        m.refs[0] = m.chunks.len() as u32;
+        assert!(EpochManifest::decode(&m.encode()).is_err());
+    }
+
+    #[test]
+    fn merkle_is_deterministic_and_order_free() {
+        let mut a = BTreeMap::new();
+        // Epochs across two days and two months.
+        for e in [0u32, 1, 47, 48, 700] {
+            a.insert(e, ChunkHash::of(&e.to_le_bytes()));
+        }
+        let m1 = build_merkle(&a);
+        let m2 = build_merkle(&a.clone());
+        assert_eq!(m1, m2);
+        assert_eq!(m1.days.len(), 3);
+        assert_eq!(m1.months.len(), 2);
+        // Any leaf change moves the root.
+        a.insert(1, ChunkHash::of(b"different"));
+        assert_ne!(build_merkle(&a).root_hash, m1.root_hash);
+        // Empty corpus has a stable root too.
+        let empty = build_merkle(&BTreeMap::new());
+        assert_eq!(empty.root, b"#CASROOT\n");
+    }
+}

@@ -10,6 +10,7 @@
 //! differential-compression literature.
 
 use crate::storage::{StorageError, StoredSnapshot};
+use cas::{CasConfig, CasError, CasStore};
 use codecs::{Codec, DeltaCodec};
 use dfs::{Dfs, DfsError};
 use parking_lot::Mutex;
@@ -17,10 +18,22 @@ use std::sync::Arc;
 use telco_trace::snapshot::Snapshot;
 use telco_trace::time::EpochId;
 
+/// Where anchor and delta payloads land.
+enum DeltaBackend {
+    /// One write-once file per epoch (`.anchor` / `.delta`).
+    Dfs,
+    /// Content-addressed: anchors go in *raw* (the chunker's columnar
+    /// split + pack compression replaces the anchor codec, and identical
+    /// columns dedup across anchors); delta payloads go in as opaque
+    /// blobs. Eviction inherits decay-as-GC.
+    Cas(CasStore),
+}
+
 /// Anchor + delta snapshot store.
 pub struct DeltaSnapshotStore {
     dfs: Dfs,
-    /// Codec for self-contained anchors.
+    backend: DeltaBackend,
+    /// Codec for self-contained anchors (path backend only).
     anchor_codec: Arc<dyn Codec>,
     delta: DeltaCodec,
     /// Every `anchor_interval`-th epoch is an anchor. Must divide 48 so
@@ -33,6 +46,21 @@ pub struct DeltaSnapshotStore {
 
 impl DeltaSnapshotStore {
     pub fn new(dfs: Dfs, anchor_codec: Arc<dyn Codec>, anchor_interval: u32) -> Self {
+        Self::with_backend(dfs, DeltaBackend::Dfs, anchor_codec, anchor_interval)
+    }
+
+    /// Delta store over the content-addressed backend.
+    pub fn new_cas(dfs: Dfs, anchor_codec: Arc<dyn Codec>, anchor_interval: u32) -> Self {
+        let cas = CasStore::new(dfs.clone(), CasConfig::default().with_root("/spate-delta"));
+        Self::with_backend(dfs, DeltaBackend::Cas(cas), anchor_codec, anchor_interval)
+    }
+
+    fn with_backend(
+        dfs: Dfs,
+        backend: DeltaBackend,
+        anchor_codec: Arc<dyn Codec>,
+        anchor_interval: u32,
+    ) -> Self {
         assert!(anchor_interval >= 1);
         assert_eq!(
             48 % anchor_interval,
@@ -41,6 +69,7 @@ impl DeltaSnapshotStore {
         );
         Self {
             dfs,
+            backend,
             anchor_codec,
             delta: DeltaCodec::default(),
             anchor_interval,
@@ -70,6 +99,37 @@ impl DeltaSnapshotStore {
         )
     }
 
+    /// Stored payload of an epoch: compressed file bytes on the path
+    /// backend, reassembled (hash-verified) cas bytes otherwise.
+    fn read_payload(&self, epoch: EpochId) -> Result<Vec<u8>, StorageError> {
+        match &self.backend {
+            DeltaBackend::Dfs => match self.dfs.read(&self.path_for(epoch)) {
+                Ok(p) => Ok(p),
+                Err(DfsError::NotFound(_)) => Err(StorageError::Missing(epoch)),
+                Err(e) => Err(e.into()),
+            },
+            DeltaBackend::Cas(cas) => Ok(cas.get_epoch(epoch.0)?),
+        }
+    }
+
+    /// Persist an epoch payload; returns (leaf path, stored bytes).
+    fn write_payload(&self, epoch: EpochId, payload: &[u8]) -> Result<(String, u64), StorageError> {
+        match &self.backend {
+            DeltaBackend::Dfs => {
+                let path = self.path_for(epoch);
+                self.dfs.write(&path, payload)?;
+                Ok((path, payload.len() as u64))
+            }
+            DeltaBackend::Cas(cas) => match cas.put_epoch(epoch.0, payload) {
+                Ok(r) => Ok((r.path, r.new_bytes)),
+                Err(CasError::AlreadyStored(_)) => Err(StorageError::Dfs(DfsError::AlreadyExists(
+                    self.path_for(epoch),
+                ))),
+                Err(e) => Err(e.into()),
+            },
+        }
+    }
+
     /// Raw (uncompressed) bytes of an anchor epoch.
     fn load_anchor_raw(&self, anchor: EpochId) -> Result<Arc<Vec<u8>>, StorageError> {
         if let Some((e, raw)) = self.last_anchor.lock().as_ref() {
@@ -77,48 +137,57 @@ impl DeltaSnapshotStore {
                 return Ok(Arc::clone(raw));
             }
         }
-        let packed = match self.dfs.read(&self.path_for(anchor)) {
-            Ok(p) => p,
-            Err(DfsError::NotFound(_)) => return Err(StorageError::Missing(anchor)),
-            Err(e) => return Err(e.into()),
+        let payload = self.read_payload(anchor)?;
+        let raw = match &self.backend {
+            DeltaBackend::Dfs => self.anchor_codec.decompress(&payload)?,
+            // The cas backend stores anchors raw.
+            DeltaBackend::Cas(_) => payload,
         };
-        Ok(Arc::new(self.anchor_codec.decompress(&packed)?))
+        Ok(Arc::new(raw))
     }
 
     /// Store a snapshot: anchors self-contained, the rest as deltas.
     pub fn store(&self, snapshot: &Snapshot) -> Result<StoredSnapshot, StorageError> {
         let epoch = snapshot.epoch;
         let raw = snapshot.to_bytes();
-        let packed = if self.is_anchor(epoch) {
-            let packed = self.anchor_codec.compress(&raw);
-            *self.last_anchor.lock() = Some((epoch, Arc::new(raw.clone())));
-            packed
+        let buf: Vec<u8>;
+        let payload: &[u8] = if self.is_anchor(epoch) {
+            match &self.backend {
+                DeltaBackend::Dfs => {
+                    buf = self.anchor_codec.compress(&raw);
+                    &buf
+                }
+                // The cas chunker compresses (and dedups) anchors itself.
+                DeltaBackend::Cas(_) => &raw,
+            }
         } else {
             let anchor_raw = self.load_anchor_raw(self.anchor_of(epoch))?;
-            self.delta.compress(&anchor_raw, &raw)
+            buf = self.delta.compress(&anchor_raw, &raw);
+            &buf
         };
-        let path = self.path_for(epoch);
-        self.dfs.write(&path, &packed)?;
+        let (path, stored_bytes) = self.write_payload(epoch, payload)?;
+        if self.is_anchor(epoch) {
+            *self.last_anchor.lock() = Some((epoch, Arc::new(raw.clone())));
+        }
         Ok(StoredSnapshot {
             epoch,
             path,
             raw_bytes: raw.len() as u64,
-            stored_bytes: packed.len() as u64,
+            stored_bytes,
         })
     }
 
     /// Load a snapshot (deltas cost one extra anchor read).
     pub fn load(&self, epoch: EpochId) -> Result<Snapshot, StorageError> {
-        let packed = match self.dfs.read(&self.path_for(epoch)) {
-            Ok(p) => p,
-            Err(DfsError::NotFound(_)) => return Err(StorageError::Missing(epoch)),
-            Err(e) => return Err(e.into()),
-        };
+        let payload = self.read_payload(epoch)?;
         let raw = if self.is_anchor(epoch) {
-            self.anchor_codec.decompress(&packed)?
+            match &self.backend {
+                DeltaBackend::Dfs => self.anchor_codec.decompress(&payload)?,
+                DeltaBackend::Cas(_) => payload,
+            }
         } else {
             let anchor_raw = self.load_anchor_raw(self.anchor_of(epoch))?;
-            self.delta.decompress(&anchor_raw, &packed)?
+            self.delta.decompress(&anchor_raw, &payload)?
         };
         Ok(Snapshot::from_bytes(&raw)?)
     }
@@ -129,7 +198,7 @@ impl DeltaSnapshotStore {
     pub fn evict(&self, epoch: EpochId) -> Result<u64, StorageError> {
         if self.is_anchor(epoch) {
             for e in epoch.0 + 1..epoch.0 + self.anchor_interval {
-                if self.dfs.exists(&self.path_for(EpochId(e))) {
+                if self.contains(EpochId(e)) {
                     return Err(StorageError::Dfs(DfsError::AlreadyExists(format!(
                         "anchor {} still has dependent delta {}",
                         epoch.0, e
@@ -137,24 +206,44 @@ impl DeltaSnapshotStore {
                 }
             }
         }
-        match self.dfs.delete(&self.path_for(epoch)) {
-            Ok(n) => Ok(n),
-            Err(DfsError::NotFound(_)) => Ok(0),
-            Err(e) => Err(e.into()),
+        let freed = match &self.backend {
+            DeltaBackend::Dfs => match self.dfs.delete(&self.path_for(epoch)) {
+                Ok(n) => n,
+                Err(DfsError::NotFound(_)) => 0,
+                Err(e) => return Err(e.into()),
+            },
+            DeltaBackend::Cas(cas) => cas.drop_epoch(epoch.0)?,
+        };
+        // The evicted epoch may be the cached ingest anchor; a later delta
+        // write must not base itself on (or a load resolve through) an
+        // anchor that no longer exists on the filesystem.
+        if self.is_anchor(epoch) {
+            let mut la = self.last_anchor.lock();
+            if la.as_ref().is_some_and(|(e, _)| *e == epoch) {
+                *la = None;
+            }
         }
+        Ok(freed)
     }
 
     pub fn contains(&self, epoch: EpochId) -> bool {
-        self.dfs.exists(&self.path_for(epoch))
+        match &self.backend {
+            DeltaBackend::Dfs => self.dfs.exists(&self.path_for(epoch)),
+            DeltaBackend::Cas(cas) => cas.contains(epoch.0),
+        }
     }
 
     /// Total stored bytes under this root.
     pub fn stored_bytes(&self) -> u64 {
-        self.dfs
-            .list(&format!("{}/", self.root))
-            .iter()
-            .filter_map(|p| self.dfs.file_len(p).ok())
-            .sum()
+        match &self.backend {
+            DeltaBackend::Dfs => self
+                .dfs
+                .list(&format!("{}/", self.root))
+                .iter()
+                .filter_map(|p| self.dfs.file_len(p).ok())
+                .sum(),
+            DeltaBackend::Cas(cas) => cas.listed_bytes(),
+        }
     }
 }
 
@@ -237,6 +326,56 @@ mod tests {
         assert!(!store.contains(anchor));
         // Later groups unaffected.
         assert!(store.load(snaps[9].epoch).is_ok());
+    }
+
+    #[test]
+    fn evicting_the_cached_anchor_invalidates_the_ingest_cache() {
+        let (store, _) = stores();
+        let snaps = snapshots(9); // epochs 16..=24, anchors at 16 and 24
+        for s in &snaps[..8] {
+            store.store(s).unwrap();
+        }
+        // Decay the whole group oldest-first: deltas, then the anchor.
+        for e in 17..24 {
+            store.evict(EpochId(e)).unwrap();
+        }
+        assert!(store.evict(EpochId(16)).unwrap() > 0);
+        // A delta write for the decayed group must fail loudly — before
+        // the cache was invalidated on eviction, the stale `last_anchor`
+        // let this silently commit a delta against a deleted anchor.
+        assert!(matches!(
+            store.store(&snaps[1]),
+            Err(StorageError::Missing(EpochId(16)))
+        ));
+        // Loads must agree that the group is gone.
+        assert!(matches!(
+            store.load(snaps[1].epoch),
+            Err(StorageError::Missing(_))
+        ));
+    }
+
+    #[test]
+    fn cas_backend_round_trips_dedups_and_decays_to_zero() {
+        let store = DeltaSnapshotStore::new_cas(Dfs::in_memory(), Arc::new(GzipLite::default()), 8);
+        let snaps = snapshots(16); // two full anchor groups
+        for s in &snaps {
+            store.store(s).unwrap();
+        }
+        for s in &snaps {
+            assert_eq!(store.load(s.epoch).unwrap().to_bytes(), s.to_bytes());
+        }
+        assert!(store.stored_bytes() > 0);
+        // Anchors still refuse eviction while dependents exist.
+        assert!(store.evict(EpochId(16)).is_err());
+        // Full decay, oldest-first per group, reaches an empty store: the
+        // content-addressed backend garbage-collects every shared chunk.
+        for group in [16u32, 24] {
+            for e in group + 1..group + 8 {
+                store.evict(EpochId(e)).unwrap();
+            }
+            store.evict(EpochId(group)).unwrap();
+        }
+        assert_eq!(store.stored_bytes(), 0);
     }
 
     #[test]

@@ -3,9 +3,21 @@
 //! "The Storage layer passes newly arrived network snapshots through a
 //! lossless compression process storing the results on a replicated big
 //! data file system" (§IV). The layer owns only the *leaf pages* of the
-//! SPATE index: one compressed file per 30-minute snapshot, organized in a
-//! `/spate/<year>/<month>/<day>/<epoch>` directory hierarchy.
+//! SPATE index, organized in a `/spate/<year>/<month>/<day>/<epoch>`
+//! directory hierarchy, through one of two backends:
+//!
+//! - **Path-addressed** (the default): one compressed `.snap` file per
+//!   30-minute snapshot.
+//! - **Content-addressed** ([`SnapshotStore::new_cas`]): snapshots are
+//!   chunked into per-attribute column pieces, deduplicated by content
+//!   hash into shared pack files, and each epoch's leaf is a `.mf`
+//!   manifest of chunk references (see the `cas` crate). Eviction
+//!   releases refcounts and garbage-collects dead packs.
+//!
+//! Either way the index, decay and query layers above see the same
+//! store/load/evict surface.
 
+use cas::{CasConfig, CasError, CasRecoverReport, CasStore};
 use codecs::{Codec, CodecError};
 use dfs::{Dfs, DfsError};
 use std::fmt;
@@ -21,6 +33,8 @@ pub enum StorageError {
     Parse(SnapshotParseError),
     /// The requested snapshot was decayed or never ingested.
     Missing(EpochId),
+    /// Content-addressed backend failure (verification, structure).
+    Cas(CasError),
 }
 
 impl fmt::Display for StorageError {
@@ -30,6 +44,7 @@ impl fmt::Display for StorageError {
             StorageError::Codec(e) => write!(f, "codec: {e}"),
             StorageError::Parse(e) => write!(f, "parse: {e}"),
             StorageError::Missing(e) => write!(f, "snapshot for epoch {} not stored", e.0),
+            StorageError::Cas(e) => write!(f, "{e}"),
         }
     }
 }
@@ -51,6 +66,17 @@ impl From<CodecError> for StorageError {
 impl From<SnapshotParseError> for StorageError {
     fn from(e: SnapshotParseError) -> Self {
         StorageError::Parse(e)
+    }
+}
+
+impl From<CasError> for StorageError {
+    fn from(e: CasError) -> Self {
+        match e {
+            CasError::Dfs(d) => StorageError::Dfs(d),
+            CasError::Codec(c) => StorageError::Codec(c),
+            CasError::Missing(epoch) => StorageError::Missing(EpochId(epoch)),
+            other => StorageError::Cas(other),
+        }
     }
 }
 
@@ -77,19 +103,43 @@ impl StoredSnapshot {
 /// Staging suffix for crash-consistent writes: `<leaf>.snap.tmp`.
 pub const TMP_SUFFIX: &str = ".tmp";
 
-/// The snapshot store: a codec in front of the replicated filesystem.
+/// How snapshot bytes land on the filesystem.
+#[derive(Clone)]
+enum Backend {
+    /// One compressed file per epoch at its leaf path.
+    Path { codec: Arc<dyn Codec> },
+    /// Chunked, deduplicated, manifest-per-epoch (see the `cas` crate).
+    Cas(CasStore),
+}
+
+/// The snapshot store: a compression backend in front of the replicated
+/// filesystem.
 #[derive(Clone)]
 pub struct SnapshotStore {
     dfs: Dfs,
-    codec: Arc<dyn Codec>,
+    backend: Backend,
     root: String,
 }
 
 impl SnapshotStore {
+    /// Path-addressed store (the paper's storage layer).
     pub fn new(dfs: Dfs, codec: Arc<dyn Codec>) -> Self {
         Self {
             dfs,
-            codec,
+            backend: Backend::Path { codec },
+            root: "/spate".to_string(),
+        }
+    }
+
+    /// Content-addressed store: dedup, Merkle manifests, decay-as-GC.
+    pub fn new_cas(dfs: Dfs, cfg: CasConfig) -> Self {
+        let cfg = CasConfig {
+            root: "/spate".to_string(),
+            ..cfg
+        };
+        Self {
+            dfs: dfs.clone(),
+            backend: Backend::Cas(CasStore::new(dfs, cfg)),
             root: "/spate".to_string(),
         }
     }
@@ -98,23 +148,58 @@ impl SnapshotStore {
     /// frameworks on one filesystem).
     pub fn with_root(mut self, root: &str) -> Self {
         self.root = root.trim_end_matches('/').to_string();
+        if let Backend::Cas(cas) = self.backend {
+            self.backend = Backend::Cas(cas.with_root(&self.root));
+        }
         self
     }
 
     pub fn codec_name(&self) -> &'static str {
-        self.codec.name()
+        match &self.backend {
+            Backend::Path { codec } => codec.name(),
+            Backend::Cas(cas) => cas.codec_name(),
+        }
     }
 
     pub fn dfs(&self) -> &Dfs {
         &self.dfs
     }
 
-    /// The leaf path of an epoch: `/spate/<y>/<m>/<d>/<epoch>.snap`.
+    /// The content-addressed backend, when this store uses one.
+    pub fn cas(&self) -> Option<&CasStore> {
+        match &self.backend {
+            Backend::Cas(cas) => Some(cas),
+            Backend::Path { .. } => None,
+        }
+    }
+
+    /// Leaf filename suffix of this backend (`.snap` or `.mf`).
+    pub fn leaf_suffix(&self) -> &'static str {
+        match &self.backend {
+            Backend::Path { .. } => ".snap",
+            Backend::Cas(_) => ".mf",
+        }
+    }
+
+    /// Rebuild backend state from the filesystem (refcounts, chunk and
+    /// pack tables) and sweep orphans. No-op for the path backend, whose
+    /// only state *is* the filesystem.
+    pub fn recover_backend(&self) -> Option<CasRecoverReport> {
+        self.cas().map(|cas| cas.recover())
+    }
+
+    /// The leaf path of an epoch: `/spate/<y>/<m>/<d>/<epoch>.snap` (or
+    /// `.mf` for the content-addressed backend).
     pub fn path_for(&self, epoch: EpochId) -> String {
         let c = epoch.civil();
         format!(
-            "{}/{:04}/{:02}/{:02}/{:010}.snap",
-            self.root, c.year, c.month, c.day, epoch.0
+            "{}/{:04}/{:02}/{:02}/{:010}{}",
+            self.root,
+            c.year,
+            c.month,
+            c.day,
+            epoch.0,
+            self.leaf_suffix()
         )
     }
 
@@ -139,60 +224,91 @@ impl SnapshotStore {
             let _s = obs::span("segment");
             snapshot.to_bytes()
         };
-        let packed = {
-            let _s = obs::span("compress");
-            self.codec.compress_metered(&raw)
-        };
-        let path = self.path_for(snapshot.epoch);
-        let tmp = self.tmp_path_for(snapshot.epoch);
-        // A stale orphan from a crashed earlier attempt would block the
-        // staging write; clear it first (write-once files).
-        match self.dfs.delete(&tmp) {
-            Ok(_) | Err(DfsError::NotFound(_)) => {}
-            Err(e) => return Err(e.into()),
+        match &self.backend {
+            Backend::Path { codec } => {
+                let packed = {
+                    let _s = obs::span("compress");
+                    codec.compress_metered(&raw)
+                };
+                let path = self.path_for(snapshot.epoch);
+                let tmp = self.tmp_path_for(snapshot.epoch);
+                // A stale orphan from a crashed earlier attempt would block
+                // the staging write; clear it first (write-once files).
+                match self.dfs.delete(&tmp) {
+                    Ok(_) | Err(DfsError::NotFound(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                self.dfs.write(&tmp, &packed)?;
+                if let Err(e) = self.dfs.rename(&tmp, &path) {
+                    // Commit failed (e.g. the leaf already exists): don't
+                    // leave the staging file behind.
+                    let _ = self.dfs.delete(&tmp);
+                    return Err(e.into());
+                }
+                Ok(StoredSnapshot {
+                    epoch: snapshot.epoch,
+                    path,
+                    raw_bytes: raw.len() as u64,
+                    stored_bytes: packed.len() as u64,
+                })
+            }
+            Backend::Cas(cas) => {
+                // Chunk, dedup and commit; `stored_bytes` is the *marginal*
+                // cost of this epoch (new pack + manifest), which is what
+                // dedup makes interesting.
+                let receipt = match cas.put_epoch(snapshot.epoch.0, &raw) {
+                    Ok(r) => r,
+                    Err(CasError::AlreadyStored(_)) => {
+                        return Err(StorageError::Dfs(DfsError::AlreadyExists(
+                            self.path_for(snapshot.epoch),
+                        )))
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                Ok(StoredSnapshot {
+                    epoch: snapshot.epoch,
+                    path: receipt.path,
+                    raw_bytes: raw.len() as u64,
+                    stored_bytes: receipt.new_bytes,
+                })
+            }
         }
-        self.dfs.write(&tmp, &packed)?;
-        if let Err(e) = self.dfs.rename(&tmp, &path) {
-            // Commit failed (e.g. the leaf already exists): don't leave the
-            // staging file behind.
-            let _ = self.dfs.delete(&tmp);
-            return Err(e.into());
-        }
-        Ok(StoredSnapshot {
-            epoch: snapshot.epoch,
-            path,
-            raw_bytes: raw.len() as u64,
-            stored_bytes: packed.len() as u64,
-        })
     }
 
     /// Load and decode the snapshot of an epoch.
     pub fn load(&self, epoch: EpochId) -> Result<Snapshot, StorageError> {
-        let path = self.path_for(epoch);
-        let packed = match self.dfs.read(&path) {
-            Ok(p) => p,
-            Err(DfsError::NotFound(_)) => return Err(StorageError::Missing(epoch)),
-            Err(e) => return Err(e.into()),
-        };
+        let packed = self.load_compressed(epoch)?;
         self.decode(&packed)
     }
 
-    /// Read the *compressed* bytes of an epoch without decoding (used by
-    /// scans that decompress streaming-side).
+    /// Read the stored bytes of an epoch without parsing. For the path
+    /// backend these are the compressed leaf bytes (scans decompress
+    /// streaming-side); the content-addressed backend reassembles and
+    /// hash-verifies the raw payload, so what it returns is already
+    /// decompressed — [`Self::decode`] handles both.
     pub fn load_compressed(&self, epoch: EpochId) -> Result<Vec<u8>, StorageError> {
-        let path = self.path_for(epoch);
-        match self.dfs.read(&path) {
-            Ok(p) => Ok(p),
-            Err(DfsError::NotFound(_)) => Err(StorageError::Missing(epoch)),
-            Err(e) => Err(e.into()),
+        match &self.backend {
+            Backend::Path { .. } => {
+                let path = self.path_for(epoch);
+                match self.dfs.read(&path) {
+                    Ok(p) => Ok(p),
+                    Err(DfsError::NotFound(_)) => Err(StorageError::Missing(epoch)),
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Backend::Cas(cas) => Ok(cas.get_epoch(epoch.0)?),
         }
     }
 
-    /// Decode previously-fetched compressed bytes.
+    /// Decode bytes previously fetched with [`Self::load_compressed`].
     pub fn decode(&self, packed: &[u8]) -> Result<Snapshot, StorageError> {
-        let raw = {
-            let _s = obs::span("decompress");
-            self.codec.decompress_metered(packed)?
+        let raw = match &self.backend {
+            Backend::Path { codec } => {
+                let _s = obs::span("decompress");
+                codec.decompress_metered(packed)?
+            }
+            // The cas backend verified and decompressed on read.
+            Backend::Cas(_) => packed.to_vec(),
         };
         let _s = obs::span("parse");
         Ok(Snapshot::from_bytes(&raw)?)
@@ -200,37 +316,58 @@ impl SnapshotStore {
 
     /// Evict the stored snapshot of an epoch (the decay fungus's file
     /// deletion). Returns freed logical bytes; 0 if it was already gone.
+    /// Under the content-addressed backend this drops the epoch's manifest,
+    /// releases its chunk references and garbage-collects packs whose last
+    /// live chunk went away — decay *is* GC.
     pub fn evict(&self, epoch: EpochId) -> Result<u64, StorageError> {
-        match self.dfs.delete(&self.path_for(epoch)) {
-            Ok(n) => Ok(n),
-            Err(DfsError::NotFound(_)) => Ok(0),
-            Err(e) => Err(e.into()),
+        match &self.backend {
+            Backend::Path { .. } => match self.dfs.delete(&self.path_for(epoch)) {
+                Ok(n) => Ok(n),
+                Err(DfsError::NotFound(_)) => Ok(0),
+                Err(e) => Err(e.into()),
+            },
+            Backend::Cas(cas) => Ok(cas.drop_epoch(epoch.0)?),
         }
     }
 
     pub fn contains(&self, epoch: EpochId) -> bool {
-        self.dfs.exists(&self.path_for(epoch))
+        match &self.backend {
+            Backend::Path { .. } => self.dfs.exists(&self.path_for(epoch)),
+            Backend::Cas(cas) => cas.contains(epoch.0),
+        }
     }
 
     /// Total stored (compressed, pre-replication) bytes under this root.
     /// Uncommitted `.tmp` staging files don't count — they are invisible
-    /// to queries and reaped by recovery.
+    /// to queries and reaped by recovery. The content-addressed backend
+    /// counts packs + manifests (shared chunks once, Merkle metadata
+    /// excluded).
     pub fn stored_bytes(&self) -> u64 {
-        self.dfs
-            .list(&format!("{}/", self.root))
-            .iter()
-            .filter(|p| !p.ends_with(TMP_SUFFIX))
-            .filter_map(|p| self.dfs.file_len(p).ok())
-            .sum()
+        match &self.backend {
+            Backend::Path { .. } => self
+                .dfs
+                .list(&format!("{}/", self.root))
+                .iter()
+                .filter(|p| !p.ends_with(TMP_SUFFIX))
+                .filter_map(|p| self.dfs.file_len(p).ok())
+                .sum(),
+            Backend::Cas(cas) => cas.listed_bytes(),
+        }
     }
 
     /// All committed leaf paths under this root, lexicographic (and thus
-    /// epoch) order.
+    /// epoch) order. For the content-addressed backend these are the epoch
+    /// manifests (packs and Merkle rollups are not leaves).
     pub fn committed_paths(&self) -> Vec<String> {
+        let suffix = self.leaf_suffix();
+        let skip_packs = format!("{}/packs/", self.root);
+        let skip_merkle = format!("{}/merkle/", self.root);
         self.dfs
             .list(&format!("{}/", self.root))
             .into_iter()
-            .filter(|p| !p.ends_with(TMP_SUFFIX))
+            .filter(|p| {
+                p.ends_with(suffix) && !p.starts_with(&skip_packs) && !p.starts_with(&skip_merkle)
+            })
             .collect()
     }
 
