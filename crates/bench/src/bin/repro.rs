@@ -6,13 +6,13 @@
 //!       [--introspect] [--trace-json PATH]
 //!
 //! EXPERIMENT: table1 | fig4 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
-//!             | decay | chaos | serve | trace | cas | space-summary
+//!             | decay | chaos | serve | trace | cas | heat | space-summary
 //!             | all (default)
 //!
-//! --seed N             workload/fault-plan seed for the chaos, serve, trace
-//!                      and cas experiments (default 7); two runs with the
-//!                      same seed print identical `chaos:`/`serve:`/`trace:`/
-//!                      `cas:` lines
+//! --seed N             workload/fault-plan seed for the chaos, serve, trace,
+//!                      cas and heat experiments (default 7); two runs with
+//!                      the same seed print identical `chaos:`/`serve:`/
+//!                      `trace:`/`cas:`/`heat:` lines
 //! --clients N          concurrent clients for the serve experiment
 //!                      (default 8)
 //! --cas                run the chaos experiment over the content-addressed
@@ -118,6 +118,7 @@ fn main() {
         "serve" => serve_run(&config, clients, seed, introspect),
         "trace" => trace_run(&config, seed),
         "cas" => cas_run(&config, seed),
+        "heat" => heat_run(&config, seed),
         "space-summary" => space_summary(&config),
         "all" => {
             fig4(&config);
@@ -174,20 +175,28 @@ EXPERIMENTS:
                      print its span tree — \"why was request R slow\"
     cas              content-addressed store vs. path store: dedup ratio,
                      query equality, Merkle root, decay-as-GC leak gate
+    heat             per-query cost accounting (EXPLAIN ANALYZE) and heat
+                     ledger: seeded skewed workload, band census, restart
+                     round-trip, zero-cost-leak gate
     space-summary    one-line total-space comparison
 
 FLAGS:
     --scale 1/N          trace scale relative to the paper's 5 GB (default 1/128)
     --days D             days of trace to generate
     --unthrottled        disable the cluster-disk I/O model
-    --seed N             seed for chaos/serve/trace/cas workloads (default 7)
+    --seed N             seed for chaos/serve/trace/cas/heat workloads (default 7)
     --clients N          concurrent clients for serve (default 8)
     --cas                run chaos over the content-addressed backend
     --profile            print the span flame table after the experiment
-    --metrics-json PATH  dump the metric registry as JSON
+    --metrics-json PATH  dump the metric registry (counters, gauges including
+                         the spate.heat.* gauges, histograms, spans) as JSON
     --introspect         print live Stats/Trace frames after a serve run
     --trace-json PATH    dump the flight recorder as Chrome trace_event JSON
-    -h, --help           this text"
+                         (open in chrome://tracing or Perfetto)
+    -h, --help           this text
+
+Machine-readable reports: chaos, serve, cas and heat write BENCH_CHAOS.json,
+BENCH_SERVE.json, BENCH_CAS.json and BENCH_HEAT.json next to the run output."
     );
 }
 
@@ -683,6 +692,96 @@ fn cas_run(config: &BenchConfig, seed: u64) {
             ("path_read_p95_us", perf.path_read_p95_us.to_string()),
             ("cas_read_p95_us", perf.cas_read_p95_us.to_string()),
             ("wall_secs", format!("{:.3}", perf.wall_secs)),
+        ],
+    );
+}
+
+fn heat_run(config: &BenchConfig, seed: u64) {
+    println!("\n## Heat — per-query cost accounting and the heat ledger\n");
+    let r = spate_bench::heat_experiment(config, seed);
+    // Every `heat:` line is a pure function of (seed, scale, days) — CI
+    // runs the experiment twice and diffs them byte-for-byte, and gates
+    // on leak_bytes=0 / profiles_reconcile=true / restart_bands_identical.
+    println!(
+        "heat: seed={} epochs={} queries={} bytes_read_total={} bytes_decompressed_total={}",
+        r.seed, r.epochs_ingested, r.queries_run, r.bytes_read_total, r.bytes_decompressed_total
+    );
+    println!(
+        "heat: rows_scanned={} rows_returned={} epochs_touched={} leak_bytes={} profiles_reconcile={}",
+        r.rows_scanned, r.rows_returned, r.epochs_touched, r.leak_bytes, r.profiles_reconcile
+    );
+    println!(
+        "heat: bands hot={} warm={} cold={} tracked={} tick={} exports_consistent={}",
+        r.hot, r.warm, r.cold, r.tracked_epochs, r.ledger_tick, r.exports_consistent
+    );
+    for (epoch, heat_milli, accesses) in &r.top_epochs {
+        println!("heat: top_epoch={epoch} heat_milli={heat_milli} accesses={accesses}");
+    }
+    for (attr, accesses) in &r.top_attributes {
+        println!("heat: top_attribute={attr} accesses={accesses}");
+    }
+    // The rows EXPLAIN ANALYZE would print for the paper's T1 and T4,
+    // timing entries stripped so the lines stay diffable.
+    println!("heat: t1 result_rows={}", r.t1_rows);
+    for (metric, value) in &r.t1_metrics {
+        println!("heat: t1 {metric}={value}");
+    }
+    println!("heat: t4 result_rows={}", r.t4_rows);
+    for (metric, value) in &r.t4_metrics {
+        println!("heat: t4 {metric}={value}");
+    }
+    println!(
+        "heat: restart_bands_identical={} restart_tracked={} index_image_bytes={}",
+        r.restart_bands_identical, r.restart_tracked_epochs, r.index_image_bytes
+    );
+    // Timing-dependent: never diffed.
+    println!("heat-perf: wall={:.3}s", r.wall_secs);
+    println!(
+        "(acceptance: leak_bytes=0, profiles_reconcile=true, hot>0, restart_bands_identical=true, same seed → identical `heat:` lines)"
+    );
+    // Unlike the other bench reports this one carries no timing field:
+    // CI `cmp`s two same-seed BENCH_HEAT.json files byte-for-byte.
+    write_bench_json(
+        "BENCH_HEAT.json",
+        &[
+            ("experiment", "\"heat\"".into()),
+            ("seed", r.seed.to_string()),
+            ("epochs_ingested", r.epochs_ingested.to_string()),
+            ("queries_run", r.queries_run.to_string()),
+            ("bytes_read_total", r.bytes_read_total.to_string()),
+            (
+                "bytes_decompressed_total",
+                r.bytes_decompressed_total.to_string(),
+            ),
+            ("rows_scanned", r.rows_scanned.to_string()),
+            ("rows_returned", r.rows_returned.to_string()),
+            ("epochs_touched", r.epochs_touched.to_string()),
+            ("leak_bytes", r.leak_bytes.to_string()),
+            ("profiles_reconcile", r.profiles_reconcile.to_string()),
+            ("hot", r.hot.to_string()),
+            ("warm", r.warm.to_string()),
+            ("cold", r.cold.to_string()),
+            ("tracked_epochs", r.tracked_epochs.to_string()),
+            ("ledger_tick", r.ledger_tick.to_string()),
+            (
+                "top_epoch",
+                r.top_epochs.first().map_or(0, |(e, _, _)| *e).to_string(),
+            ),
+            (
+                "top_attribute",
+                format!(
+                    "\"{}\"",
+                    r.top_attributes.first().map_or("", |(a, _)| a.as_str())
+                ),
+            ),
+            ("t1_result_rows", r.t1_rows.to_string()),
+            ("t4_result_rows", r.t4_rows.to_string()),
+            ("exports_consistent", r.exports_consistent.to_string()),
+            (
+                "restart_bands_identical",
+                r.restart_bands_identical.to_string(),
+            ),
+            ("index_image_bytes", r.index_image_bytes.to_string()),
         ],
     );
 }

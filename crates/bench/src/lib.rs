@@ -12,8 +12,10 @@
 //! | [`serve_experiment`] | `repro serve` — concurrent serving tier under mid-run decay (no paper counterpart) |
 //! | [`trace_experiment`] | `repro trace` — one request traced end-to-end, cold vs warm (no paper counterpart) |
 //! | [`cas_experiment`] | `repro cas` — content-addressed store vs. path store: dedup ratio, query equality, GC-leak gate (no paper counterpart) |
+//! | [`heat_experiment`] | `repro heat` — per-query cost accounting and heat-ledger bands under a skewed workload (no paper counterpart) |
 
 pub mod experiments;
+pub mod heat_bench;
 pub mod serve_bench;
 pub mod setup;
 
@@ -22,5 +24,6 @@ pub use experiments::{
     response_experiment, table1_codecs, CasPerf, CasReport, ChaosReport, CodecRow, EntropyReport,
     IngestReport, ResponseReport,
 };
+pub use heat_bench::{heat_experiment, HeatBenchReport};
 pub use serve_bench::{serve_experiment, trace_experiment, ServeReport, TraceReport};
 pub use setup::{build_frameworks, BenchConfig, Frameworks};

@@ -409,6 +409,9 @@ impl CasStore {
     /// [`Dfs::repair_file`] + re-read before giving up.
     pub fn get_epoch(&self, epoch: u32) -> Result<Vec<u8>, CasError> {
         let _span = obs::span("cas.get");
+        // Per-query cost accounting: the dfs reads below (manifest +
+        // packs) were initiated by the CAS, so they bill to "cas".
+        let _src = obs::cost::attribute_reads_to("cas");
         let expect = {
             let mut st = self.state.lock();
             st.stats.gets += 1;

@@ -153,10 +153,15 @@ pub trait Codec: Send + Sync {
         );
         obs::observe(&format!("codecs.{name}.decompress_ns"), ns);
         match &result {
-            Ok(out) => obs::add(
-                &format!("codecs.{name}.decompress.bytes_out"),
-                out.len() as u64,
-            ),
+            Ok(out) => {
+                obs::add(
+                    &format!("codecs.{name}.decompress.bytes_out"),
+                    out.len() as u64,
+                );
+                // Attribute the produced bytes to this codec in the active
+                // per-query cost profile (no-op outside a profiled query).
+                obs::cost::add_decompressed(name, out.len() as u64);
+            }
             Err(_) => obs::inc(&format!("codecs.{name}.decompress.errors")),
         }
         result

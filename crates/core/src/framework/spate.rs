@@ -452,9 +452,17 @@ impl ExplorationFramework for SpateFramework {
 
     fn query(&self, q: &Query) -> QueryResult {
         let _span = obs::span("spate.query");
+        // Workload heat: every query warms the attributes it selects and
+        // (below) the epochs it actually reads.
+        for attr in &q.attributes {
+            self.index.heat().touch_attribute(attr);
+        }
         let covering = {
             let _s = obs::span("index_probe");
-            self.index.find_covering(q.window.0, q.window.1)
+            let start = std::time::Instant::now();
+            let covering = self.index.find_covering(q.window.0, q.window.1);
+            obs::cost::add_stage_ns("index_probe", start.elapsed().as_nanos() as u64);
+            covering
         };
         match covering {
             Covering::Exact(leaves) => {
@@ -467,6 +475,7 @@ impl ExplorationFramework for SpateFramework {
                 let mut snaps: Vec<Snapshot> = Vec::with_capacity(leaves.len());
                 let mut unavailable = 0u32;
                 for leaf in &leaves {
+                    self.index.heat().touch_epoch(leaf.epoch);
                     match self.store.load(leaf.epoch) {
                         Ok(s) => snaps.push(s),
                         Err(_) => unavailable += 1,

@@ -1,0 +1,579 @@
+//! The heat ledger: persistent per-epoch and per-attribute access
+//! accounting with exponential time decay.
+//!
+//! The paper's decay policy is age-only ("evict oldest individuals");
+//! making it workload-aware (ROADMAP item 4) needs a durable record of
+//! *where queries actually go*. The ledger lives inside the temporal
+//! index, is updated from the query path and the serving tier's epoch
+//! cache, and persists/restores with the index image — so the heat
+//! picture survives restarts just like the highlights do.
+//!
+//! # Decay model
+//!
+//! Time is **logical**: the ledger's clock (`tick`) advances to the id
+//! of each newly ingested epoch, never to the wall clock, so a seeded
+//! run produces bit-identical heat values. Each access adds `1.0` of
+//! heat; between accesses an entry's heat halves every
+//! [`HeatConfig::half_life_epochs`] logical epochs:
+//!
+//! ```text
+//! heat(t) = heat(t0) * 2^(-(t - t0) / half_life)
+//! ```
+//!
+//! Decay is applied lazily — an entry stores `(heat, last_tick)` and is
+//! folded forward on its next touch or on report generation — so the
+//! record path is one map update, no background sweeps.
+//!
+//! # Bands
+//!
+//! A report classifies every tracked epoch as **hot** (`heat >=
+//! hot_threshold`), **warm** (`>= warm_threshold`) or **cold**. With the
+//! defaults (half-life 48 = one day of epochs, thresholds 4.0 / 0.5),
+//! an epoch needs sustained re-access to stay hot and a single touch
+//! cools from warm to cold after about one logical day.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use telco_trace::time::EpochId;
+
+/// Tuning of the decay model and banding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatConfig {
+    /// Logical epochs for heat to halve (default: 48 = one day).
+    pub half_life_epochs: f64,
+    /// Band boundary: heat at or above this is hot.
+    pub hot_threshold: f64,
+    /// Band boundary: heat at or above this (and below hot) is warm.
+    pub warm_threshold: f64,
+}
+
+impl Default for HeatConfig {
+    fn default() -> Self {
+        Self {
+            half_life_epochs: 48.0,
+            hot_threshold: 4.0,
+            warm_threshold: 0.5,
+        }
+    }
+}
+
+/// Heat band of one tracked entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Band {
+    Hot,
+    Warm,
+    Cold,
+}
+
+impl Band {
+    pub fn name(self) -> &'static str {
+        match self {
+            Band::Hot => "hot",
+            Band::Warm => "warm",
+            Band::Cold => "cold",
+        }
+    }
+}
+
+/// One ledger entry: decayed heat plus undecayed lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HeatEntry {
+    /// Decayed heat as of `last_tick`.
+    pub heat: f64,
+    /// Logical tick of the last fold (access or explicit decay).
+    pub last_tick: u64,
+    /// Lifetime access count (never decays).
+    pub accesses: u64,
+    /// Epoch-cache hits recorded against this entry (epochs only).
+    pub cache_hits: u64,
+    /// Epoch-cache misses recorded against this entry (epochs only).
+    pub cache_misses: u64,
+}
+
+impl HeatEntry {
+    /// The entry's heat folded forward to `tick` (read-only).
+    fn heat_at(&self, tick: u64, half_life: f64) -> f64 {
+        let dt = tick.saturating_sub(self.last_tick);
+        if dt == 0 {
+            return self.heat;
+        }
+        self.heat * (-(dt as f64) / half_life).exp2()
+    }
+
+    fn touch(&mut self, tick: u64, half_life: f64) {
+        self.heat = self.heat_at(tick.max(self.last_tick), half_life) + 1.0;
+        self.last_tick = tick.max(self.last_tick);
+        self.accesses += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct HeatState {
+    tick: u64,
+    epochs: BTreeMap<u32, HeatEntry>,
+    attributes: BTreeMap<String, HeatEntry>,
+}
+
+/// The ledger itself. Interior mutability (one mutex over the maps) so
+/// the read-only query path and the serving tier's cache can record
+/// accesses through `&self`.
+#[derive(Debug)]
+pub struct HeatLedger {
+    config: HeatConfig,
+    state: Mutex<HeatState>,
+}
+
+impl Default for HeatLedger {
+    fn default() -> Self {
+        Self::new(HeatConfig::default())
+    }
+}
+
+impl HeatLedger {
+    pub fn new(config: HeatConfig) -> Self {
+        Self {
+            config,
+            state: Mutex::new(HeatState::default()),
+        }
+    }
+
+    pub fn config(&self) -> HeatConfig {
+        self.config
+    }
+
+    /// Advance the logical clock to `tick` (monotone; lower ticks are
+    /// ignored). Called on ingest with the new epoch's id.
+    pub fn advance_to(&self, tick: u64) {
+        let mut st = self.state.lock();
+        st.tick = st.tick.max(tick);
+    }
+
+    /// The current logical tick.
+    pub fn tick(&self) -> u64 {
+        self.state.lock().tick
+    }
+
+    /// Record one access to `epoch`'s data at the current tick.
+    pub fn touch_epoch(&self, epoch: EpochId) {
+        let mut st = self.state.lock();
+        let (tick, half_life) = (st.tick, self.config.half_life_epochs);
+        st.epochs.entry(epoch.0).or_default().touch(tick, half_life);
+    }
+
+    /// Record one access to attribute `attr` at the current tick.
+    pub fn touch_attribute(&self, attr: &str) {
+        let mut st = self.state.lock();
+        let (tick, half_life) = (st.tick, self.config.half_life_epochs);
+        st.attributes
+            .entry(attr.to_string())
+            .or_default()
+            .touch(tick, half_life);
+    }
+
+    /// Record an epoch-cache hit or miss against `epoch`. This *is* an
+    /// access (it adds heat) — the serving tier routes per-epoch cache
+    /// accounting here so the ledger is the single source of epoch heat.
+    pub fn record_cache(&self, epoch: EpochId, hit: bool) {
+        let mut st = self.state.lock();
+        let (tick, half_life) = (st.tick, self.config.half_life_epochs);
+        let e = st.epochs.entry(epoch.0).or_default();
+        e.touch(tick, half_life);
+        if hit {
+            e.cache_hits += 1;
+        } else {
+            e.cache_misses += 1;
+        }
+    }
+
+    /// Number of distinct epochs ever touched.
+    pub fn tracked_epochs(&self) -> usize {
+        self.state.lock().epochs.len()
+    }
+
+    /// Classify a heat value.
+    pub fn band_of(&self, heat: f64) -> Band {
+        if heat >= self.config.hot_threshold {
+            Band::Hot
+        } else if heat >= self.config.warm_threshold {
+            Band::Warm
+        } else {
+            Band::Cold
+        }
+    }
+
+    /// A point-in-time heat report: every tracked epoch and attribute
+    /// folded forward to the current tick and banded. Entries sort
+    /// hottest-first (ties by ascending id/name), so reports from equal
+    /// access histories are byte-identical.
+    pub fn report(&self) -> HeatReport {
+        let st = self.state.lock();
+        let half_life = self.config.half_life_epochs;
+        let mut epochs: Vec<EpochHeat> = st
+            .epochs
+            .iter()
+            .map(|(&id, e)| EpochHeat {
+                epoch: EpochId(id),
+                heat: e.heat_at(st.tick, half_life),
+                band: self.band_of(e.heat_at(st.tick, half_life)),
+                accesses: e.accesses,
+                cache_hits: e.cache_hits,
+                cache_misses: e.cache_misses,
+            })
+            .collect();
+        epochs.sort_by(|a, b| {
+            b.heat
+                .partial_cmp(&a.heat)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.epoch.0.cmp(&b.epoch.0))
+        });
+        let mut attributes: Vec<(String, f64, u64)> = st
+            .attributes
+            .iter()
+            .map(|(name, e)| (name.clone(), e.heat_at(st.tick, half_life), e.accesses))
+            .collect();
+        attributes.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let (mut hot, mut warm, mut cold) = (0usize, 0usize, 0usize);
+        for e in &epochs {
+            match e.band {
+                Band::Hot => hot += 1,
+                Band::Warm => warm += 1,
+                Band::Cold => cold += 1,
+            }
+        }
+        HeatReport {
+            tick: st.tick,
+            hot,
+            warm,
+            cold,
+            epochs,
+            attributes,
+        }
+    }
+
+    /// Push the report's summary into the global obs registry as gauges
+    /// (`spate.heat.*`), picked up by the Prometheus/JSON exporters.
+    pub fn publish_gauges(&self) {
+        let r = self.report();
+        obs::gauge_set("spate.heat.tick", r.tick as i64);
+        obs::gauge_set("spate.heat.epochs_tracked", r.epochs.len() as i64);
+        obs::gauge_set("spate.heat.hot", r.hot as i64);
+        obs::gauge_set("spate.heat.warm", r.warm as i64);
+        obs::gauge_set("spate.heat.cold", r.cold as i64);
+        let hits: u64 = r.epochs.iter().map(|e| e.cache_hits).sum();
+        let misses: u64 = r.epochs.iter().map(|e| e.cache_misses).sum();
+        obs::gauge_set("spate.heat.cache_hits", hits as i64);
+        obs::gauge_set("spate.heat.cache_misses", misses as i64);
+    }
+
+    // ------------------------------------------------ persistence view
+
+    /// Everything needed to reconstruct the ledger (for the index image).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn persist_view(
+        &self,
+    ) -> (
+        HeatConfig,
+        u64,
+        Vec<(u32, HeatEntry)>,
+        Vec<(String, HeatEntry)>,
+    ) {
+        let st = self.state.lock();
+        (
+            self.config,
+            st.tick,
+            st.epochs.iter().map(|(&k, &v)| (k, v)).collect(),
+            st.attributes.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        )
+    }
+
+    /// Rebuild a ledger from a persisted view.
+    pub(crate) fn from_parts(
+        config: HeatConfig,
+        tick: u64,
+        epochs: Vec<(u32, HeatEntry)>,
+        attributes: Vec<(String, HeatEntry)>,
+    ) -> Self {
+        Self {
+            config,
+            state: Mutex::new(HeatState {
+                tick,
+                epochs: epochs.into_iter().collect(),
+                attributes: attributes.into_iter().collect(),
+            }),
+        }
+    }
+}
+
+/// One epoch's row in a [`HeatReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochHeat {
+    pub epoch: EpochId,
+    pub heat: f64,
+    pub band: Band,
+    pub accesses: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// A banded, hottest-first view of the ledger at one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatReport {
+    pub tick: u64,
+    pub hot: usize,
+    pub warm: usize,
+    pub cold: usize,
+    /// Hottest first; ties break toward the older epoch.
+    pub epochs: Vec<EpochHeat>,
+    /// `(attribute, heat, lifetime accesses)`, hottest first.
+    pub attributes: Vec<(String, f64, u64)>,
+}
+
+impl HeatReport {
+    /// The `k` hottest epochs.
+    pub fn top_epochs(&self, k: usize) -> &[EpochHeat] {
+        &self.epochs[..k.min(self.epochs.len())]
+    }
+
+    /// The band assignment of every tracked epoch, in epoch order —
+    /// the restart-invariance check compares exactly this.
+    pub fn bands(&self) -> Vec<(EpochId, Band)> {
+        let mut v: Vec<(EpochId, Band)> = self.epochs.iter().map(|e| (e.epoch, e.band)).collect();
+        v.sort_by_key(|(e, _)| e.0);
+        v
+    }
+
+    /// The report as a JSON document (self-contained, no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tick\": {},", self.tick);
+        let _ = writeln!(
+            out,
+            "  \"bands\": {{\"hot\": {}, \"warm\": {}, \"cold\": {}}},",
+            self.hot, self.warm, self.cold
+        );
+        out.push_str("  \"epochs\": [");
+        for (i, e) in self.epochs.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"epoch\": {}, \"heat\": {:.3}, \"band\": \"{}\", \"accesses\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                e.epoch.0,
+                e.heat,
+                e.band.name(),
+                e.accesses,
+                e.cache_hits,
+                e.cache_misses
+            );
+        }
+        out.push_str("\n  ],\n  \"attributes\": [");
+        for (i, (name, heat, accesses)) in self.attributes.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let escaped: String = name
+                .chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c => vec![c],
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"attribute\": \"{escaped}\", \"heat\": {heat:.3}, \"accesses\": {accesses}}}"
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// The report in the Prometheus exposition format (heat per epoch as
+    /// a labeled gauge family plus band totals).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP spate_heat_band_total Tracked epochs per heat band."
+        );
+        let _ = writeln!(out, "# TYPE spate_heat_band_total gauge");
+        for (band, n) in [("hot", self.hot), ("warm", self.warm), ("cold", self.cold)] {
+            let _ = writeln!(out, "spate_heat_band_total{{band=\"{band}\"}} {n}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP spate_heat_epoch Decayed query heat per epoch at tick {}.",
+            self.tick
+        );
+        let _ = writeln!(out, "# TYPE spate_heat_epoch gauge");
+        for e in &self.epochs {
+            let _ = writeln!(
+                out,
+                "spate_heat_epoch{{epoch=\"{}\",band=\"{}\"}} {:.3}",
+                e.epoch.0,
+                e.band.name(),
+                e.heat
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP spate_heat_attribute Decayed query heat per attribute."
+        );
+        let _ = writeln!(out, "# TYPE spate_heat_attribute gauge");
+        for (name, heat, _) in &self.attributes {
+            let escaped: String = name
+                .chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    '\n' => vec!['\\', 'n'],
+                    c => vec![c],
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "spate_heat_attribute{{attribute=\"{escaped}\"}} {heat:.3}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_accumulate_and_decay_by_half_life() {
+        let ledger = HeatLedger::new(HeatConfig {
+            half_life_epochs: 10.0,
+            ..HeatConfig::default()
+        });
+        ledger.advance_to(100);
+        ledger.touch_epoch(EpochId(5));
+        ledger.touch_epoch(EpochId(5));
+        let r = ledger.report();
+        assert_eq!(r.epochs.len(), 1);
+        assert!((r.epochs[0].heat - 2.0).abs() < 1e-9);
+        // One half-life later: heat halves.
+        ledger.advance_to(110);
+        let r = ledger.report();
+        assert!(
+            (r.epochs[0].heat - 1.0).abs() < 1e-9,
+            "{}",
+            r.epochs[0].heat
+        );
+        assert_eq!(r.epochs[0].accesses, 2, "lifetime count never decays");
+    }
+
+    #[test]
+    fn bands_split_hot_warm_cold() {
+        let ledger = HeatLedger::new(HeatConfig::default());
+        ledger.advance_to(48);
+        for _ in 0..6 {
+            ledger.touch_epoch(EpochId(1)); // 6.0 → hot
+        }
+        ledger.touch_epoch(EpochId(2)); // 1.0 → warm
+        ledger.touch_epoch(EpochId(3));
+        ledger.advance_to(48 * 4); // 3 half-lives: 1.0 → 0.125 → cold
+        ledger.touch_epoch(EpochId(4)); // fresh warm at the new tick
+        let r = ledger.report();
+        // Epoch 1 decayed 3 half-lives from 6.0 to 0.75 (warm); epoch 2
+        // likewise to 0.125 (cold).
+        assert_eq!((r.hot, r.warm, r.cold), (0, 2, 2), "{r:?}");
+        assert_eq!(r.epochs[0].epoch, EpochId(4), "freshest access is hottest");
+        let bands = r.bands();
+        assert_eq!(bands[0], (EpochId(1), Band::Warm));
+        assert_eq!(bands[1], (EpochId(2), Band::Cold));
+        assert_eq!(bands[3], (EpochId(4), Band::Warm));
+    }
+
+    #[test]
+    fn cache_recording_adds_heat_and_counts() {
+        let ledger = HeatLedger::default();
+        ledger.advance_to(1);
+        ledger.record_cache(EpochId(9), false);
+        ledger.record_cache(EpochId(9), true);
+        ledger.record_cache(EpochId(9), true);
+        let r = ledger.report();
+        assert_eq!(r.epochs[0].cache_hits, 2);
+        assert_eq!(r.epochs[0].cache_misses, 1);
+        assert_eq!(r.epochs[0].accesses, 3);
+        assert!((r.epochs[0].heat - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribute_heat_is_tracked_and_sorted() {
+        let ledger = HeatLedger::default();
+        ledger.advance_to(1);
+        for _ in 0..3 {
+            ledger.touch_attribute("upflux");
+        }
+        ledger.touch_attribute("downflux");
+        let r = ledger.report();
+        assert_eq!(r.attributes[0].0, "upflux");
+        assert!((r.attributes[0].1 - 3.0).abs() < 1e-9);
+        assert_eq!(r.attributes[1].0, "downflux");
+        assert_eq!(r.attributes[1].2, 1);
+    }
+
+    #[test]
+    fn persist_view_round_trips_bit_exactly() {
+        let ledger = HeatLedger::default();
+        ledger.advance_to(7);
+        ledger.touch_epoch(EpochId(1));
+        ledger.advance_to(29);
+        ledger.touch_epoch(EpochId(1));
+        ledger.touch_epoch(EpochId(2));
+        ledger.touch_attribute("drops");
+        ledger.record_cache(EpochId(2), true);
+        let (cfg, tick, epochs, attrs) = ledger.persist_view();
+        let restored = HeatLedger::from_parts(cfg, tick, epochs, attrs);
+        assert_eq!(ledger.report(), restored.report());
+        assert_eq!(ledger.report().bands(), restored.report().bands());
+    }
+
+    #[test]
+    fn clock_is_monotone_and_report_is_deterministic() {
+        let ledger = HeatLedger::default();
+        ledger.advance_to(50);
+        ledger.advance_to(10); // ignored
+        assert_eq!(ledger.tick(), 50);
+        ledger.touch_epoch(EpochId(3));
+        ledger.touch_epoch(EpochId(8));
+        let a = ledger.report();
+        let b = ledger.report();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        // Ties sort by ascending epoch.
+        assert_eq!(a.epochs[0].epoch, EpochId(3));
+    }
+
+    #[test]
+    fn report_exports_are_well_formed() {
+        let ledger = HeatLedger::default();
+        ledger.advance_to(2);
+        ledger.touch_epoch(EpochId(0));
+        ledger.touch_attribute("call_drops");
+        let r = ledger.report();
+        let json = r.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"bands\""));
+        assert!(json.contains("\"attribute\": \"call_drops\""));
+        let prom = r.to_prometheus();
+        assert!(prom.contains("spate_heat_band_total{band=\"hot\"}"));
+        assert!(prom.contains("spate_heat_epoch{epoch=\"0\""));
+        assert_eq!(prom.matches("# TYPE spate_heat_epoch gauge").count(), 1);
+    }
+
+    #[test]
+    fn top_epochs_clamps_k() {
+        let ledger = HeatLedger::default();
+        ledger.touch_epoch(EpochId(1));
+        let r = ledger.report();
+        assert_eq!(r.top_epochs(10).len(), 1);
+        assert_eq!(r.top_epochs(0).len(), 0);
+    }
+}

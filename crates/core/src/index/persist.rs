@@ -6,6 +6,7 @@
 //! into a compact varint-based binary image; [`crate::SpateFramework`]
 //! stores it (compressed) beside the snapshots.
 
+use crate::index::heat::{HeatConfig, HeatEntry, HeatLedger};
 use crate::index::highlights::{CellSummary, FreqTable, HighlightConfig, Highlights};
 use crate::index::{DayNode, EpochLeaf, MonthNode, TemporalIndex, YearNode};
 use codecs::varint;
@@ -15,7 +16,9 @@ use std::fmt;
 use telco_trace::time::EpochId;
 
 const MAGIC: &[u8; 4] = b"SPIX";
-const VERSION: u8 = 1;
+/// Version 2 appended the heat-ledger section; version-1 images are still
+/// readable and restore with an empty ledger.
+const VERSION: u8 = 2;
 
 /// Errors restoring a persisted index image.
 #[derive(Debug)]
@@ -99,6 +102,34 @@ fn write_highlights(out: &mut Vec<u8>, h: &Highlights) {
     }
 }
 
+fn write_heat_entry(out: &mut Vec<u8>, e: &HeatEntry) {
+    write_f64(out, e.heat);
+    varint::write_u64(out, e.last_tick);
+    varint::write_u64(out, e.accesses);
+    varint::write_u64(out, e.cache_hits);
+    varint::write_u64(out, e.cache_misses);
+}
+
+fn write_heat(out: &mut Vec<u8>, ledger: &HeatLedger) {
+    let (config, tick, epochs, attributes) = ledger.persist_view();
+    write_f64(out, config.half_life_epochs);
+    write_f64(out, config.hot_threshold);
+    write_f64(out, config.warm_threshold);
+    varint::write_u64(out, tick);
+    // Both lists come out of BTreeMaps, so they are already sorted and the
+    // image stays deterministic.
+    varint::write_u64(out, epochs.len() as u64);
+    for (epoch, entry) in &epochs {
+        varint::write_u64(out, u64::from(*epoch));
+        write_heat_entry(out, entry);
+    }
+    varint::write_u64(out, attributes.len() as u64);
+    for (name, entry) in &attributes {
+        write_string(out, name);
+        write_heat_entry(out, entry);
+    }
+}
+
 fn write_leaf(out: &mut Vec<u8>, l: &EpochLeaf) {
     varint::write_u64(out, u64::from(l.epoch.0));
     write_string(out, &l.path);
@@ -156,6 +187,9 @@ pub fn to_bytes(index: &TemporalIndex) -> Vec<u8> {
             }
         }
     }
+
+    // v2: heat-ledger section, appended after the structural tree.
+    write_heat(&mut out, &index.heat);
     out
 }
 
@@ -286,6 +320,48 @@ impl<'a> Reader<'a> {
             present: self.byte()? != 0,
         })
     }
+
+    fn heat_entry(&mut self) -> Result<HeatEntry, PersistError> {
+        Ok(HeatEntry {
+            heat: self.f64()?,
+            last_tick: self.u64()?,
+            accesses: self.u64()?,
+            cache_hits: self.u64()?,
+            cache_misses: self.u64()?,
+        })
+    }
+
+    fn heat(&mut self) -> Result<HeatLedger, PersistError> {
+        let config = HeatConfig {
+            half_life_epochs: self.f64()?,
+            hot_threshold: self.f64()?,
+            warm_threshold: self.f64()?,
+        };
+        let tick = self.u64()?;
+        let n_epochs = self.u64()? as usize;
+        if n_epochs > 1 << 24 {
+            return Err(PersistError::Corrupt(CodecError::Corrupt(
+                "implausible heat epoch count",
+            )));
+        }
+        let mut epochs = Vec::with_capacity(n_epochs);
+        for _ in 0..n_epochs {
+            let epoch = self.u32()?;
+            epochs.push((epoch, self.heat_entry()?));
+        }
+        let n_attrs = self.u64()? as usize;
+        if n_attrs > 1 << 16 {
+            return Err(PersistError::Corrupt(CodecError::Corrupt(
+                "implausible heat attribute count",
+            )));
+        }
+        let mut attributes = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let name = self.string()?;
+            attributes.push((name, self.heat_entry()?));
+        }
+        Ok(HeatLedger::from_parts(config, tick, epochs, attributes))
+    }
 }
 
 /// Restore an index from a serialized image.
@@ -293,8 +369,9 @@ pub fn from_bytes(input: &[u8]) -> Result<TemporalIndex, PersistError> {
     if input.len() < 5 || &input[..4] != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    if input[4] != VERSION {
-        return Err(PersistError::BadVersion(input[4]));
+    let version = input[4];
+    if !matches!(version, 1 | 2) {
+        return Err(PersistError::BadVersion(version));
     }
     let mut r = Reader { input, pos: 5 };
 
@@ -387,11 +464,19 @@ pub fn from_bytes(input: &[u8]) -> Result<TemporalIndex, PersistError> {
             decayed,
         });
     }
+    // v1 images predate the heat ledger: restore with an empty one.
+    let heat = if version >= 2 {
+        r.heat()?
+    } else {
+        HeatLedger::default()
+    };
+
     Ok(TemporalIndex {
         config,
         years,
         root_highlights,
         last_epoch,
+        heat,
     })
 }
 
@@ -485,5 +570,62 @@ mod tests {
         for cut in [5usize, 20, image.len() / 2, image.len() - 1] {
             assert!(from_bytes(&image[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn heat_ledger_survives_restart_with_identical_bands() {
+        let index = build_index(60);
+        // A skewed workload: epoch 3 hot, epoch 40 warm, epoch 10 touched
+        // long before the current tick so it has cooled.
+        for _ in 0..8 {
+            index.heat().touch_epoch(EpochId(3));
+        }
+        index.heat().touch_epoch(EpochId(40));
+        index.heat().record_cache(EpochId(3), true);
+        index.heat().record_cache(EpochId(40), false);
+        index.heat().touch_attribute("drops");
+        index.heat().touch_attribute("drops");
+
+        let restored = from_bytes(&to_bytes(&index)).unwrap();
+        let (before, after) = (index.heat().report(), restored.heat().report());
+        assert_eq!(before, after, "full report identical after restore");
+        assert_eq!(before.bands(), after.bands());
+        assert_eq!(restored.heat().tick(), index.heat().tick());
+        assert_eq!(restored.heat().config(), index.heat().config());
+        assert_eq!(after.epochs[0].epoch, EpochId(3));
+        assert_eq!(after.attributes[0].0, "drops");
+    }
+
+    #[test]
+    fn version_1_images_restore_with_empty_ledger() {
+        let index = build_index(6);
+        index.heat().touch_epoch(EpochId(2));
+        let mut image = to_bytes(&index);
+        assert_eq!(image[4], 2, "current images are v2");
+        // Reconstruct a v1 image: same structural payload with the heat
+        // suffix stripped and the version byte rolled back.
+        let heat_len = {
+            let mut buf = Vec::new();
+            super::write_heat(&mut buf, index.heat());
+            buf.len()
+        };
+        image.truncate(image.len() - heat_len);
+        image[4] = 1;
+        let restored = from_bytes(&image).unwrap();
+        assert_eq!(restored.last_epoch(), index.last_epoch());
+        assert_eq!(restored.heat().tracked_epochs(), 0, "v1 → empty ledger");
+    }
+
+    #[test]
+    fn heat_serialization_is_deterministic() {
+        let index = build_index(20);
+        index.heat().touch_epoch(EpochId(1));
+        index.heat().touch_epoch(EpochId(7));
+        index.heat().touch_attribute("upflux");
+        let a = to_bytes(&index);
+        let b = to_bytes(&index);
+        assert_eq!(a, b);
+        let again = to_bytes(&from_bytes(&a).unwrap());
+        assert_eq!(again, a, "stable across a round trip");
     }
 }

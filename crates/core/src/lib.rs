@@ -62,9 +62,10 @@ pub use framework::{
     StoreObserver,
 };
 pub use index::decay::{DecayPolicy, DecayReport};
+pub use index::heat::{Band, HeatConfig, HeatLedger, HeatReport};
 pub use index::highlights::{HighlightConfig, Highlights};
 pub use index::TemporalIndex;
 pub use meta::{AnomalyRecord, MetaConfig, MetaMonitor, MetaSummary, StreamKind};
-pub use query::{Coverage, Query, QueryResult};
+pub use query::{profile_query, Coverage, Query, QueryResult};
 pub use session::ExplorerSession;
 pub use storage::SnapshotStore;

@@ -259,8 +259,10 @@ pub fn project_snapshot_refs<'a>(
         out.nms = TableSlice::empty(TableKind::Nms);
     }
 
+    let mut rows_scanned: u64 = 0;
     for snap in snapshots {
         out.epochs_read += 1;
+        rows_scanned += (snap.cdr.len() + snap.nms.len()) as u64;
         if !projection.cdr_cols.is_empty() {
             for r in &snap.cdr {
                 let cell = r.get(cdr::CELL_ID).as_i64().unwrap_or(-1);
@@ -293,7 +295,24 @@ pub fn project_snapshot_refs<'a>(
             }
         }
     }
+    obs::cost::add_rows(
+        rows_scanned,
+        (out.cdr.rows.len() + out.nms.rows.len()) as u64,
+    );
     out
+}
+
+/// Evaluate a query under per-query cost accounting (the explore-path
+/// `EXPLAIN ANALYZE`): installs a [`obs::CostProfile`] for the duration of
+/// `fw.query(q)` and returns the result together with the profile. The
+/// profile's trace id is the active request trace, or 0 outside serve.
+pub fn profile_query(
+    fw: &dyn crate::framework::ExplorationFramework,
+    q: &Query,
+) -> (QueryResult, obs::CostProfile) {
+    let guard = obs::cost::begin(obs::trace::current().unwrap_or(0));
+    let result = fw.query(q);
+    (result, guard.finish())
 }
 
 #[cfg(test)]

@@ -287,7 +287,9 @@ impl SnapshotStore {
     /// hash-verifies the raw payload, so what it returns is already
     /// decompressed — [`Self::decode`] handles both.
     pub fn load_compressed(&self, epoch: EpochId) -> Result<Vec<u8>, StorageError> {
-        match &self.backend {
+        let start = std::time::Instant::now();
+        obs::cost::touch_epoch(u64::from(epoch.0));
+        let result = match &self.backend {
             Backend::Path { .. } => {
                 let path = self.path_for(epoch);
                 match self.dfs.read(&path) {
@@ -297,7 +299,9 @@ impl SnapshotStore {
                 }
             }
             Backend::Cas(cas) => Ok(cas.get_epoch(epoch.0)?),
-        }
+        };
+        obs::cost::add_stage_ns("read", start.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Decode bytes previously fetched with [`Self::load_compressed`].
@@ -305,13 +309,19 @@ impl SnapshotStore {
         let raw = match &self.backend {
             Backend::Path { codec } => {
                 let _s = obs::span("decompress");
-                codec.decompress_metered(packed)?
+                let start = std::time::Instant::now();
+                let raw = codec.decompress_metered(packed);
+                obs::cost::add_stage_ns("decompress", start.elapsed().as_nanos() as u64);
+                raw?
             }
             // The cas backend verified and decompressed on read.
             Backend::Cas(_) => packed.to_vec(),
         };
         let _s = obs::span("parse");
-        Ok(Snapshot::from_bytes(&raw)?)
+        let start = std::time::Instant::now();
+        let snap = Snapshot::from_bytes(&raw);
+        obs::cost::add_stage_ns("parse", start.elapsed().as_nanos() as u64);
+        Ok(snap?)
     }
 
     /// Evict the stored snapshot of an epoch (the decay fungus's file

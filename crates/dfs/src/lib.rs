@@ -547,6 +547,7 @@ impl Dfs {
             obs::inc("dfs.cache.hits");
             obs::trace::event("dfs.cache.hit", &[("path", path)]);
             obs::add("dfs.read.bytes", cached.len() as u64);
+            obs::cost::add_bytes_read("dfs", cached.len() as u64);
             inner.metrics.record_read(cached.len() as u64);
             return Ok(cached.as_ref().clone());
         }
@@ -585,6 +586,7 @@ impl Dfs {
         }
         inner.metrics.record_read(out.len() as u64);
         obs::add("dfs.read.bytes", out.len() as u64);
+        obs::cost::add_bytes_read("dfs", out.len() as u64);
         let shared = std::sync::Arc::new(out);
         inner.cache.put(path, std::sync::Arc::clone(&shared));
         Ok(std::sync::Arc::try_unwrap(shared).unwrap_or_else(|arc| arc.as_ref().clone()))

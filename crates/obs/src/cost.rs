@@ -1,0 +1,398 @@
+//! Per-query resource accounting: the [`CostProfile`].
+//!
+//! Spans and the flight recorder answer *"where did the time go"*; the
+//! cost profile answers *"what did this query cost"* — epochs touched,
+//! bytes read from each storage source, bytes decompressed per codec,
+//! rows scanned vs rows returned, cache hits/misses, and time split by
+//! stage. It is the data layer the cost-based planner and the
+//! heat-adaptive decay policy read from (ROADMAP items 3 and 4).
+//!
+//! The collection mechanism mirrors [`crate::trace`]: a thread-local
+//! slot holding the active profile, installed by [`begin`] and restored
+//! by the returned [`CostGuard`]. Library crates (codecs, dfs, cas, core
+//! storage) call the free mutator functions unconditionally; when no
+//! profile is active they are no-ops, so instrumentation never needs to
+//! be threaded through call signatures.
+//!
+//! # Reconciliation
+//!
+//! Every byte mutator updates both a per-key breakdown *and* an
+//! independent running total. [`CostProfile::unattributed_bytes`] is the
+//! difference between the two — it must be zero on every profile (the
+//! "zero cost leak" invariant gated in CI). Keeping the total as its own
+//! accumulator rather than deriving it from the map means a future
+//! instrumentation bug (a call site that bumps one but not the other)
+//! is *detectable* instead of silently self-consistent.
+
+use crate::flight::now_ns;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Resource accounting for one query, assembled while a [`CostGuard`] is
+/// installed on the executing thread.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostProfile {
+    /// The request-scoped trace this profile belongs to (0 outside serve).
+    pub trace_id: u64,
+    /// Distinct epoch ids whose data the query touched (loaded, probed or
+    /// served from cache).
+    pub epochs_touched: BTreeSet<u64>,
+    /// Bytes read, by storage source (`"dfs"`, `"cas"`).
+    pub bytes_read: BTreeMap<String, u64>,
+    /// Total bytes read — maintained independently of the breakdown.
+    pub bytes_read_total: u64,
+    /// Bytes produced by decompression, by codec name.
+    pub bytes_decompressed: BTreeMap<String, u64>,
+    /// Total decompressed bytes — maintained independently.
+    pub bytes_decompressed_total: u64,
+    /// Rows iterated while evaluating predicates/projections.
+    pub rows_scanned: u64,
+    /// Rows actually produced to the caller.
+    pub rows_returned: u64,
+    /// Epoch-cache hits observed while serving this query.
+    pub cache_hits: u64,
+    /// Epoch-cache misses observed while serving this query.
+    pub cache_misses: u64,
+    /// Wall time per pipeline stage (`"read"`, `"decompress"`,
+    /// `"parse"`, `"index_probe"`, ...), nanoseconds.
+    pub stage_ns: BTreeMap<String, u64>,
+    /// Wall time from [`begin`] to [`CostGuard::finish`], nanoseconds.
+    pub total_ns: u64,
+}
+
+impl CostProfile {
+    pub fn new(trace_id: u64) -> Self {
+        Self {
+            trace_id,
+            ..Self::default()
+        }
+    }
+
+    /// Bytes in the total accumulator not explained by the per-source
+    /// breakdown (and likewise for decompression). Zero on a healthy
+    /// profile; non-zero means an instrumentation leak.
+    pub fn unattributed_bytes(&self) -> u64 {
+        let read: u64 = self.bytes_read.values().sum();
+        let dec: u64 = self.bytes_decompressed.values().sum();
+        self.bytes_read_total.abs_diff(read) + self.bytes_decompressed_total.abs_diff(dec)
+    }
+
+    /// Does every per-key byte breakdown sum exactly to its total?
+    pub fn reconciles(&self) -> bool {
+        self.unattributed_bytes() == 0
+    }
+
+    /// The profile as ordered `(metric, value)` rows — the body of an
+    /// `EXPLAIN ANALYZE` result and of the Profile wire frame. Byte and
+    /// row metrics are deterministic for a seeded run; the trailing
+    /// `time.*` rows are wall-clock and must never be diffed.
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        out.push((
+            "epochs_touched".into(),
+            self.epochs_touched.len().to_string(),
+        ));
+        for (source, n) in &self.bytes_read {
+            out.push((format!("bytes_read.{source}"), n.to_string()));
+        }
+        out.push(("bytes_read.total".into(), self.bytes_read_total.to_string()));
+        for (codec, n) in &self.bytes_decompressed {
+            out.push((format!("bytes_decompressed.{codec}"), n.to_string()));
+        }
+        out.push((
+            "bytes_decompressed.total".into(),
+            self.bytes_decompressed_total.to_string(),
+        ));
+        out.push(("rows_scanned".into(), self.rows_scanned.to_string()));
+        out.push(("rows_returned".into(), self.rows_returned.to_string()));
+        out.push(("cache_hits".into(), self.cache_hits.to_string()));
+        out.push(("cache_misses".into(), self.cache_misses.to_string()));
+        out.push((
+            "unattributed_bytes".into(),
+            self.unattributed_bytes().to_string(),
+        ));
+        for (stage, ns) in &self.stage_ns {
+            out.push((format!("time.{stage}_us"), (ns / 1_000).to_string()));
+        }
+        out.push(("time.total_us".into(), (self.total_ns / 1_000).to_string()));
+        out
+    }
+}
+
+struct Active {
+    profile: CostProfile,
+    start_ns: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+    static SOURCE_OVERRIDE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for an installed cost profile. Dropping it without
+/// [`CostGuard::finish`] discards the profile; either way the previously
+/// installed profile (if any) is restored, so profiled sections nest.
+pub struct CostGuard {
+    prev: Option<Active>,
+    done: bool,
+}
+
+impl CostGuard {
+    /// Detach the collected profile, stamping `total_ns`, and restore the
+    /// previous context.
+    pub fn finish(mut self) -> CostProfile {
+        self.done = true;
+        let active = ACTIVE.replace(self.prev.take());
+        match active {
+            Some(a) => {
+                let mut p = a.profile;
+                p.total_ns = now_ns().saturating_sub(a.start_ns);
+                p
+            }
+            // Unreachable in practice: only `finish`/`drop` remove it.
+            None => CostProfile::default(),
+        }
+    }
+}
+
+impl Drop for CostGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            ACTIVE.set(self.prev.take());
+        }
+    }
+}
+
+/// Install a fresh profile for `trace_id` on this thread. The profile
+/// collects until the guard is finished or dropped.
+pub fn begin(trace_id: u64) -> CostGuard {
+    let prev = ACTIVE.replace(Some(Active {
+        profile: CostProfile::new(trace_id),
+        start_ns: now_ns(),
+    }));
+    CostGuard { prev, done: false }
+}
+
+/// Is a profile currently collecting on this thread? Lets hot paths skip
+/// work (clock reads, formatting) when nobody is accounting.
+pub fn is_active() -> bool {
+    ACTIVE.with_borrow(|a| a.is_some())
+}
+
+fn with_active(f: impl FnOnce(&mut CostProfile)) {
+    ACTIVE.with_borrow_mut(|a| {
+        if let Some(active) = a.as_mut() {
+            f(&mut active.profile);
+        }
+    });
+}
+
+/// Attribute `n` bytes read from `source` (`"dfs"`, `"cas"`). When a
+/// [`SourceGuard`] is installed, its source wins: a store built *on top*
+/// of dfs (the CAS) claims the physical reads it initiates, so every
+/// byte is attributed exactly once, to the store that asked for it.
+pub fn add_bytes_read(source: &str, n: u64) {
+    with_active(|p| {
+        let key = SOURCE_OVERRIDE
+            .with_borrow(|o| o.clone())
+            .unwrap_or_else(|| source.to_string());
+        *p.bytes_read.entry(key).or_insert(0) += n;
+        p.bytes_read_total += n;
+    });
+}
+
+/// RAII guard re-attributing nested [`add_bytes_read`] calls; see
+/// [`attribute_reads_to`].
+pub struct SourceGuard {
+    prev: Option<String>,
+}
+
+impl Drop for SourceGuard {
+    fn drop(&mut self) {
+        SOURCE_OVERRIDE.set(self.prev.take());
+    }
+}
+
+/// Attribute all [`add_bytes_read`] calls on this thread to `source`
+/// until the returned guard drops. Used by layered stores (CAS over dfs)
+/// so the underlying reads count toward the initiating store instead of
+/// being double-attributed.
+pub fn attribute_reads_to(source: &str) -> SourceGuard {
+    let prev = SOURCE_OVERRIDE.replace(Some(source.to_string()));
+    SourceGuard { prev }
+}
+
+/// Attribute `n` decompressed output bytes to `codec`.
+pub fn add_decompressed(codec: &str, n: u64) {
+    with_active(|p| {
+        *p.bytes_decompressed.entry(codec.to_string()).or_insert(0) += n;
+        p.bytes_decompressed_total += n;
+    });
+}
+
+/// Record rows iterated and rows produced.
+pub fn add_rows(scanned: u64, returned: u64) {
+    with_active(|p| {
+        p.rows_scanned += scanned;
+        p.rows_returned += returned;
+    });
+}
+
+/// Record that the query touched `epoch`'s data.
+pub fn touch_epoch(epoch: u64) {
+    with_active(|p| {
+        p.epochs_touched.insert(epoch);
+    });
+}
+
+/// Record an epoch-cache hit.
+pub fn cache_hit() {
+    with_active(|p| p.cache_hits += 1);
+}
+
+/// Record an epoch-cache miss.
+pub fn cache_miss() {
+    with_active(|p| p.cache_misses += 1);
+}
+
+/// Attribute `ns` nanoseconds of wall time to `stage`.
+pub fn add_stage_ns(stage: &str, ns: u64) {
+    with_active(|p| {
+        *p.stage_ns.entry(stage.to_string()).or_insert(0) += ns;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutators_are_noops_without_an_active_profile() {
+        assert!(!is_active());
+        add_bytes_read("dfs", 100);
+        add_rows(5, 1);
+        touch_epoch(7);
+        // Nothing panics, nothing sticks: a fresh profile starts empty.
+        let g = begin(1);
+        let p = g.finish();
+        assert_eq!(p.bytes_read_total, 0);
+        assert_eq!(p.rows_scanned, 0);
+        assert!(p.epochs_touched.is_empty());
+    }
+
+    #[test]
+    fn profile_collects_and_reconciles() {
+        let g = begin(42);
+        assert!(is_active());
+        add_bytes_read("dfs", 100);
+        add_bytes_read("dfs", 50);
+        add_bytes_read("cas", 30);
+        add_decompressed("gzip-lite", 400);
+        add_rows(1000, 10);
+        touch_epoch(3);
+        touch_epoch(3);
+        touch_epoch(5);
+        cache_hit();
+        cache_miss();
+        add_stage_ns("read", 1_000);
+        add_stage_ns("read", 500);
+        let p = g.finish();
+        assert!(!is_active());
+        assert_eq!(p.trace_id, 42);
+        assert_eq!(p.bytes_read_total, 180);
+        assert_eq!(p.bytes_read["dfs"], 150);
+        assert_eq!(p.bytes_read["cas"], 30);
+        assert_eq!(p.bytes_decompressed_total, 400);
+        assert_eq!(p.rows_scanned, 1000);
+        assert_eq!(p.rows_returned, 10);
+        assert_eq!(
+            p.epochs_touched.iter().copied().collect::<Vec<_>>(),
+            vec![3, 5]
+        );
+        assert_eq!(p.cache_hits, 1);
+        assert_eq!(p.cache_misses, 1);
+        assert_eq!(p.stage_ns["read"], 1_500);
+        assert!(p.reconciles());
+        assert_eq!(p.unattributed_bytes(), 0);
+    }
+
+    #[test]
+    fn source_override_reattributes_nested_reads() {
+        let g = begin(3);
+        add_bytes_read("dfs", 10);
+        {
+            let _cas = attribute_reads_to("cas");
+            // A layered store's internal dfs reads count as "cas".
+            add_bytes_read("dfs", 90);
+        }
+        add_bytes_read("dfs", 5);
+        let p = g.finish();
+        assert_eq!(p.bytes_read["dfs"], 15);
+        assert_eq!(p.bytes_read["cas"], 90);
+        assert_eq!(p.bytes_read_total, 105);
+        assert!(p.reconciles());
+    }
+
+    #[test]
+    fn unattributed_bytes_detects_a_leak() {
+        let mut p = CostProfile::new(1);
+        p.bytes_read.insert("dfs".into(), 100);
+        p.bytes_read_total = 120; // 20 bytes nobody attributed
+        assert!(!p.reconciles());
+        assert_eq!(p.unattributed_bytes(), 20);
+    }
+
+    #[test]
+    fn guards_nest_and_restore_the_outer_profile() {
+        let outer = begin(1);
+        add_bytes_read("dfs", 10);
+        {
+            let inner = begin(2);
+            add_bytes_read("dfs", 999);
+            let p = inner.finish();
+            assert_eq!(p.trace_id, 2);
+            assert_eq!(p.bytes_read_total, 999);
+        }
+        // Back on the outer profile.
+        add_bytes_read("dfs", 5);
+        let p = outer.finish();
+        assert_eq!(p.trace_id, 1);
+        assert_eq!(p.bytes_read_total, 15);
+    }
+
+    #[test]
+    fn dropping_a_guard_discards_and_restores() {
+        let outer = begin(1);
+        {
+            let _inner = begin(2);
+            add_rows(100, 100);
+            // dropped unfinished: profile 2 is discarded
+        }
+        add_rows(1, 1);
+        let p = outer.finish();
+        assert_eq!(p.rows_scanned, 1);
+    }
+
+    #[test]
+    fn rows_render_breakdowns_and_totals() {
+        let g = begin(9);
+        add_bytes_read("dfs", 64);
+        add_decompressed("zstd-lite", 256);
+        add_rows(8, 2);
+        let p = g.finish();
+        let rows = p.rows();
+        let get = |k: &str| {
+            rows.iter()
+                .find(|(m, _)| m == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing row {k}"))
+        };
+        assert_eq!(get("bytes_read.dfs"), "64");
+        assert_eq!(get("bytes_read.total"), "64");
+        assert_eq!(get("bytes_decompressed.zstd-lite"), "256");
+        assert_eq!(get("rows_scanned"), "8");
+        assert_eq!(get("rows_returned"), "2");
+        assert_eq!(get("unattributed_bytes"), "0");
+        assert!(rows.iter().any(|(m, _)| m == "time.total_us"));
+    }
+}

@@ -426,6 +426,55 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_escaping_survives_adversarial_label_values() {
+        // Adjacent escape-relevant characters: a raw `\"` sequence must
+        // become `\\\"` (escaped backslash, then escaped quote), and a
+        // trailing backslash must not swallow the closing quote.
+        let r = Registry::new();
+        r.histogram_labeled("lat", &[("path", "a\\\"b")]).record(1);
+        r.histogram_labeled("lat", &[("path", "trailing\\")])
+            .record(2);
+        r.histogram_labeled("lat", &[("path", "\"quoted\"")])
+            .record(3);
+        let text = prometheus_text(&r);
+        assert!(text.contains("path=\"a\\\\\\\"b\""), "{text}");
+        assert!(text.contains("path=\"trailing\\\\\""), "{text}");
+        assert!(text.contains("path=\"\\\"quoted\\\"\""), "{text}");
+        // All three are series of one family: exactly one TYPE header,
+        // and each series keeps its own _count line.
+        assert_eq!(text.matches("# TYPE lat summary").count(), 1);
+        assert!(text.contains("lat_count{path=\"a\\\\\\\"b\"} 1"));
+        assert!(text.contains("lat_sum{path=\"trailing\\\\\"} 2"));
+        assert!(text.contains("lat_count{path=\"trailing\\\\\"} 1"));
+        // Every emitted line has balanced (even) unescaped quotes, i.e.
+        // a scraper tokenizing on unescaped `"` never runs off the line.
+        for line in text.lines() {
+            let mut quotes = 0;
+            let mut escaped = false;
+            for c in line.chars() {
+                match c {
+                    '\\' if !escaped => escaped = true,
+                    '"' if !escaped => quotes += 1,
+                    _ => escaped = false,
+                }
+            }
+            assert_eq!(quotes % 2, 0, "unbalanced quotes in {line:?}");
+        }
+    }
+
+    #[test]
+    fn json_export_escapes_labeled_series_keys() {
+        // The JSON exporter keys histograms by the MetricId display form,
+        // which embeds quotes around label values — those must be escaped
+        // into valid JSON, including backslashes in the value itself.
+        let r = Registry::new();
+        r.histogram_labeled("h", &[("q", "a\"b\\c")]).record(5);
+        let doc = json(&r);
+        assert!(doc.contains("\"h{q=\\\"a\\\"b\\\\c\\\"}\""), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
     fn flame_table_nests_children_under_parents() {
         let table = flame_table(&sample_registry());
         let parent_line = table.lines().position(|l| l.starts_with("spate.ingest"));

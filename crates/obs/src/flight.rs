@@ -223,6 +223,55 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_mid_trace_keeps_the_tail_of_the_trace() {
+        // One trace larger than the whole ring: the oldest events of the
+        // *same* trace are overwritten while it is still being recorded.
+        let r = FlightRecorder::new(4);
+        for i in 0..11 {
+            r.record(ev(7, i, "stage"));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_recorded(), 11);
+        // trace() must return only the surviving tail, still ordered,
+        // with no phantom or torn events from the overwritten prefix.
+        let t = r.trace(7);
+        assert_eq!(
+            t.iter().map(|e| e.span_id).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        // The trace is still discoverable as the latest one.
+        assert_eq!(r.latest_trace_id(), Some(7));
+        // Orphaned children are tolerated: an event whose parent was
+        // overwritten still comes back intact, parent_id untouched.
+        let orphan = SpanEvent {
+            parent_id: 2, // span 2 was overwritten long ago
+            ..ev(7, 11, "orphan")
+        };
+        r.record(orphan.clone());
+        let t = r.trace(7);
+        assert_eq!(t.last(), Some(&orphan));
+        assert!(t.iter().all(|e| e.trace_id == 7));
+    }
+
+    #[test]
+    fn wraparound_interleaved_traces_drop_oldest_first() {
+        // Two traces interleaved through a wrapping ring: filtering one
+        // trace must not resurrect or miscount the other's slots.
+        let r = FlightRecorder::new(6);
+        for i in 0..9 {
+            r.record(ev(1, i, "a"));
+            r.record(ev(2, i, "b"));
+        }
+        // 18 events through 6 slots: only the newest 6 remain (3 each).
+        assert_eq!(r.len(), 6);
+        let t1: Vec<u64> = r.trace(1).iter().map(|e| e.span_id).collect();
+        let t2: Vec<u64> = r.trace(2).iter().map(|e| e.span_id).collect();
+        assert_eq!(t1, vec![6, 7, 8]);
+        assert_eq!(t2, vec![6, 7, 8]);
+        assert_eq!(r.trace(3), Vec::new());
+    }
+
+    #[test]
     fn clear_empties_the_ring() {
         let r = FlightRecorder::new(4);
         r.record(ev(1, 1, "a"));

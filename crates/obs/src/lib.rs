@@ -28,6 +28,7 @@
 //! assert!(table.contains("spate.ingest"));
 //! ```
 
+pub mod cost;
 pub mod export;
 pub mod flight;
 pub mod metrics;
@@ -35,6 +36,7 @@ pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use cost::CostProfile;
 pub use flight::{EventKind, FlightRecorder, SpanEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricId, Registry};

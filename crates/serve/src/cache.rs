@@ -17,6 +17,11 @@
 //!   only insert while holding the framework read lock, so a stale entry
 //!   can never be re-populated concurrently with the eviction that
 //!   removed it.
+//! * **Accounting split** — the cache keeps *lifetime* hit/miss totals
+//!   (the Stats frame); per-query outcomes flow into the active
+//!   [`obs::cost`] profile, and per-epoch outcomes into the temporal
+//!   index's heat ledger (`HeatLedger::record_cache`), the single source
+//!   of truth for epoch heat.
 
 use spate_core::StoreObserver;
 use std::collections::HashMap;
@@ -110,7 +115,11 @@ impl EpochCache {
         &self.shards[epoch.0 as usize % self.shards.len()]
     }
 
-    /// Look an epoch up, refreshing its recency on hit.
+    /// Look an epoch up, refreshing its recency on hit. Outcomes feed the
+    /// active [`obs::cost`] profile (per-query accounting); *per-epoch*
+    /// heat accounting lives in the temporal index's heat ledger, written
+    /// by the serving paths that know which framework they evaluate
+    /// against — the cache itself keeps only lifetime totals.
     pub fn get(&self, epoch: EpochId) -> Option<Arc<Snapshot>> {
         let mut sh = self.shard(epoch).lock().unwrap();
         sh.tick += 1;
@@ -120,11 +129,13 @@ impl EpochCache {
                 e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 obs::inc("serve.cache.hit");
+                obs::cost::cache_hit();
                 Some(e.snap.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 obs::inc("serve.cache.miss");
+                obs::cost::cache_miss();
                 None
             }
         }

@@ -28,7 +28,10 @@
 //! frames expose it live — [`RequestBody::Stats`] (counters, queue
 //! depths, cache ratios, meta-highlights anomalies) and
 //! [`RequestBody::Trace`] (one request's span tree) — both answered on
-//! the reader thread so they work even mid-shed-storm.
+//! the reader thread so they work even mid-shed-storm. A third,
+//! [`RequestBody::Profile`], returns a served request's [`obs::cost`]
+//! profile (epochs touched, bytes per source/codec, rows, cache
+//! outcomes, per-stage time) — `EXPLAIN ANALYZE` over the wire.
 //!
 //! # Quickstart
 //!
@@ -64,8 +67,8 @@ pub mod transport;
 pub use admission::{AdmissionConfig, AdmissionQueue, Class};
 pub use cache::{CacheConfig, CacheInvalidator, CacheStats, EpochCache};
 pub use proto::{
-    AnomalyWire, ProtoError, Request, RequestBody, Response, ResponseBody, SpanWire, StatsFrame,
-    TableHeader, TraceFrame,
+    AnomalyWire, ProfileFrame, ProtoError, Request, RequestBody, Response, ResponseBody, SpanWire,
+    StatsFrame, TableHeader, TraceFrame,
 };
 pub use server::{trace_id_for, ClientConn, Reply, ServeConfig, ServeStats, Server};
 pub use transport::{duplex, Endpoint, TransportError};

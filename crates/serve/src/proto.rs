@@ -45,6 +45,9 @@ pub mod kind {
     pub const STATS: u8 = 0x03;
     /// Introspection: one trace's span tree from the flight recorder.
     pub const TRACE: u8 = 0x04;
+    /// Introspection: one request's cost profile (EXPLAIN ANALYZE over
+    /// the wire).
+    pub const PROFILE: u8 = 0x05;
 
     pub const HEADER: u8 = 0x81;
     pub const ROW_CHUNK: u8 = 0x82;
@@ -56,6 +59,7 @@ pub mod kind {
     pub const UNAVAILABLE: u8 = 0x88;
     pub const STATS_REPLY: u8 = 0x89;
     pub const TRACE_REPLY: u8 = 0x8A;
+    pub const PROFILE_REPLY: u8 = 0x8B;
 }
 
 /// Errors decoding a frame.
@@ -118,6 +122,9 @@ pub enum RequestBody {
     /// Introspection: ask for one trace's span tree; `trace_id == 0`
     /// means "the most recent trace in the flight recorder".
     Trace { trace_id: u64 },
+    /// Introspection: ask for the cost profile of a served request;
+    /// `trace_id == 0` means "the most recently profiled request".
+    Profile { trace_id: u64 },
 }
 
 impl RequestBody {
@@ -126,7 +133,7 @@ impl RequestBody {
     pub fn window(&self) -> Option<(u32, u32)> {
         match self {
             RequestBody::Explore { window, .. } | RequestBody::Sql { window, .. } => Some(*window),
-            RequestBody::Stats | RequestBody::Trace { .. } => None,
+            RequestBody::Stats | RequestBody::Trace { .. } | RequestBody::Profile { .. } => None,
         }
     }
 
@@ -137,7 +144,10 @@ impl RequestBody {
 
     /// Control-plane frames bypass admission and the worker pool.
     pub fn is_control(&self) -> bool {
-        matches!(self, RequestBody::Stats | RequestBody::Trace { .. })
+        matches!(
+            self,
+            RequestBody::Stats | RequestBody::Trace { .. } | RequestBody::Profile { .. }
+        )
     }
 }
 
@@ -223,6 +233,9 @@ pub enum ResponseBody {
     /// One trace's events (answers [`RequestBody::Trace`]); empty when
     /// the trace id is unknown or already overwritten in the ring.
     Trace(TraceFrame),
+    /// One request's cost profile (answers [`RequestBody::Profile`]);
+    /// empty when the trace id is unknown or already evicted.
+    Profile(ProfileFrame),
 }
 
 /// Payload of a [`ResponseBody::Stats`] introspection answer.
@@ -261,6 +274,17 @@ pub struct TraceFrame {
     pub spans: Vec<SpanWire>,
 }
 
+/// Payload of a [`ResponseBody::Profile`] introspection answer: one
+/// request's cost profile as ordered `(metric, value)` pairs — the same
+/// rows `EXPLAIN ANALYZE` prints, so clients render it identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileFrame {
+    /// The resolved trace id (the latest profiled one when 0 was asked
+    /// for). Zero with empty metrics means "nothing profiled yet".
+    pub trace_id: u64,
+    pub metrics: Vec<(String, String)>,
+}
+
 impl ResponseBody {
     /// Is this the last frame of an answer?
     pub fn is_terminal(&self) -> bool {
@@ -272,6 +296,7 @@ impl ResponseBody {
                 | ResponseBody::Unavailable
                 | ResponseBody::Stats(_)
                 | ResponseBody::Trace(_)
+                | ResponseBody::Profile(_)
         )
     }
 }
@@ -389,6 +414,10 @@ impl Request {
                 w.u64(*trace_id);
                 kind::TRACE
             }
+            RequestBody::Profile { trace_id } => {
+                w.u64(*trace_id);
+                kind::PROFILE
+            }
         };
         frame(kind, &w.buf)
     }
@@ -419,6 +448,7 @@ impl Request {
             }
             kind::STATS => RequestBody::Stats,
             kind::TRACE => RequestBody::Trace { trace_id: r.u64()? },
+            kind::PROFILE => RequestBody::Profile { trace_id: r.u64()? },
             other => return Err(ProtoError::BadKind(other)),
         };
         r.finish()?;
@@ -539,6 +569,15 @@ impl Response {
                     }
                 }
                 kind::TRACE_REPLY
+            }
+            ResponseBody::Profile(p) => {
+                w.u64(p.trace_id);
+                w.u32(p.metrics.len() as u32);
+                for (metric, value) in &p.metrics {
+                    w.str(metric);
+                    w.str(value);
+                }
+                kind::PROFILE_REPLY
             }
         };
         frame(kind, &w.buf)
@@ -680,6 +719,17 @@ impl Response {
                 }
                 ResponseBody::Trace(TraceFrame { trace_id, spans })
             }
+            kind::PROFILE_REPLY => {
+                let trace_id = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut metrics = Vec::new();
+                for _ in 0..n {
+                    let metric = r.str()?;
+                    let value = r.str()?;
+                    metrics.push((metric, value));
+                }
+                ResponseBody::Profile(ProfileFrame { trace_id, metrics })
+            }
             other => return Err(ProtoError::BadKind(other)),
         };
         r.finish()?;
@@ -707,7 +757,7 @@ impl FrameHeader {
             return Err(ProtoError::BadVersion(bytes[2]));
         }
         let kind = bytes[3];
-        if !matches!(kind, 0x01..=0x04 | 0x81..=0x8A) {
+        if !matches!(kind, 0x01..=0x05 | 0x81..=0x8B) {
             return Err(ProtoError::BadKind(kind));
         }
         let payload_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
@@ -857,6 +907,18 @@ mod tests {
             id: 11,
             body: RequestBody::Trace { trace_id: 0 },
         });
+        roundtrip_request(Request {
+            id: 12,
+            body: RequestBody::Profile {
+                trace_id: (5 << 32) | 2,
+            },
+        });
+        roundtrip_request(Request {
+            id: 13,
+            body: RequestBody::Profile { trace_id: 0 },
+        });
+        assert!(RequestBody::Profile { trace_id: 0 }.is_control());
+        assert_eq!(RequestBody::Profile { trace_id: 0 }.window(), None);
         assert!(RequestBody::Stats.is_control());
         assert_eq!(RequestBody::Stats.window(), None);
         assert_eq!(RequestBody::Stats.window_len(), 0);
@@ -954,6 +1016,28 @@ mod tests {
                 trace_id: 0,
                 spans: vec![],
             }),
+        });
+    }
+
+    #[test]
+    fn profile_reply_round_trips() {
+        let frame = ProfileFrame {
+            trace_id: (2 << 32) | 9,
+            metrics: vec![
+                ("epochs_touched".into(), "3".into()),
+                ("bytes_read.dfs".into(), "18874".into()),
+                ("bytes_read.total".into(), "18874".into()),
+                ("rows_scanned".into(), "4200".into()),
+                ("time.total_us".into(), "512".into()),
+            ],
+        };
+        let body = ResponseBody::Profile(frame);
+        assert!(body.is_terminal());
+        roundtrip_response(Response { id: 12, body });
+        // Unknown / evicted trace id answers with an empty frame.
+        roundtrip_response(Response {
+            id: 13,
+            body: ResponseBody::Profile(ProfileFrame::default()),
         });
     }
 

@@ -30,10 +30,11 @@
 use crate::admission::{AdmissionConfig, AdmissionQueue, Class};
 use crate::cache::{CacheConfig, CacheInvalidator, CacheStats, EpochCache};
 use crate::proto::{
-    errcode, AnomalyWire, Request, RequestBody, Response, ResponseBody, SpanWire, StatsFrame,
-    TableHeader, TraceFrame, CHUNK_ROWS,
+    errcode, AnomalyWire, ProfileFrame, Request, RequestBody, Response, ResponseBody, SpanWire,
+    StatsFrame, TableHeader, TraceFrame, CHUNK_ROWS,
 };
 use crate::transport::{duplex, Endpoint, TransportError};
+use obs::CostProfile;
 use obs::{EventKind, Histogram};
 use spate_core::framework::{ExplorationFramework, IngestStats, SpaceReport};
 use spate_core::index::Covering;
@@ -41,7 +42,7 @@ use spate_core::query::{project_snapshot_refs, Coverage, ExactResult, Query, Que
 use spate_core::{
     AnomalyRecord, DecayReport, MetaConfig, MetaMonitor, MetaSummary, SpateFramework,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -78,6 +79,10 @@ pub struct ServeConfig {
     /// this interval. When `None` (the default, and what deterministic
     /// harnesses want) the operator drives it via [`Server::monitor_tick`].
     pub monitor_interval: Option<Duration>,
+    /// Finished [`CostProfile`]s retained for the Profile control frame
+    /// (bounded FIFO; older requests become unanswerable, like traces
+    /// overwritten in the flight-recorder ring).
+    pub profile_history: usize,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +99,7 @@ impl Default for ServeConfig {
             prefetch_lookahead: 4,
             meta: MetaConfig::default(),
             monitor_interval: None,
+            profile_history: 64,
         }
     }
 }
@@ -120,6 +126,50 @@ struct StatsCells {
     shed_overflow: AtomicU64,
     shed_deadline: AtomicU64,
     protocol_errors: AtomicU64,
+}
+
+/// Bounded FIFO of the most recently finished per-request cost
+/// profiles, keyed by trace id — what the Profile control frame reads.
+struct ProfileStore {
+    profiles: HashMap<u64, CostProfile>,
+    order: VecDeque<u64>,
+    latest: u64,
+    capacity: usize,
+}
+
+impl ProfileStore {
+    fn new(capacity: usize) -> Self {
+        Self {
+            profiles: HashMap::new(),
+            order: VecDeque::new(),
+            latest: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn record(&mut self, profile: CostProfile) {
+        let id = profile.trace_id;
+        if self.profiles.insert(id, profile).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.profiles.remove(&evicted);
+                }
+            }
+        }
+        self.latest = id;
+    }
+
+    /// Resolve a request: 0 means "the most recently profiled request".
+    fn lookup(&self, trace_id: u64) -> (u64, Vec<(String, String)>) {
+        let resolved = if trace_id == 0 { self.latest } else { trace_id };
+        let metrics = self
+            .profiles
+            .get(&resolved)
+            .map(CostProfile::rows)
+            .unwrap_or_default();
+        (resolved, metrics)
+    }
 }
 
 struct Job {
@@ -152,6 +202,14 @@ struct Shared {
     lat_scan: Arc<Histogram>,
     /// θ-rarity self-monitoring over the metric registry.
     monitor: Mutex<MetaMonitor>,
+    /// Finished per-request cost profiles (Profile control frame).
+    profiles: Mutex<ProfileStore>,
+    /// Trace ids currently being served by a worker. `Trace`/`Profile`
+    /// control frames fence on this set so that once a client has seen a
+    /// request's terminal frame, the request's closed spans and recorded
+    /// profile are guaranteed visible — the span guard drops and the
+    /// profile lands between the terminal send and the removal.
+    inflight: Mutex<HashSet<u64>>,
     /// Set on shutdown to stop the optional monitor thread.
     stop: AtomicBool,
 }
@@ -197,6 +255,8 @@ impl Server {
             ),
             lat_scan: obs::histogram_labeled("serve.latency_us", &[("class", "scan")]),
             monitor: Mutex::new(MetaMonitor::new(config.meta)),
+            profiles: Mutex::new(ProfileStore::new(config.profile_history)),
+            inflight: Mutex::new(HashSet::new()),
             stop: AtomicBool::new(false),
             config: config.clone(),
         });
@@ -289,6 +349,27 @@ impl Server {
     /// Recent anomaly records, oldest first (bounded history).
     pub fn anomalies(&self) -> Vec<AnomalyRecord> {
         self.shared.monitor.lock().unwrap().recent()
+    }
+
+    /// Heat report of the owned framework's temporal index: hot/warm/cold
+    /// epoch bands accumulated from every served query and cache touch.
+    pub fn heat_report(&self) -> spate_core::HeatReport {
+        self.shared.fw.read().unwrap().index().heat().report()
+    }
+
+    /// The finished [`CostProfile`] of a served request, if still
+    /// retained; `trace_id == 0` means "the most recent request".
+    pub fn profile(&self, trace_id: u64) -> Option<CostProfile> {
+        if trace_id != 0 {
+            await_settled(&self.shared, trace_id);
+        }
+        let store = self.shared.profiles.lock().unwrap();
+        let resolved = if trace_id == 0 {
+            store.latest
+        } else {
+            trace_id
+        };
+        store.profiles.get(&resolved).cloned()
     }
 
     /// Graceful shutdown: stop admitting, drain queued work, join the
@@ -426,52 +507,87 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn serve_one(shared: &Shared, class: Class, job: Job) {
-    // Install the trace context minted at admission: every span/event on
-    // this thread until the guard drops files under the request's trace.
-    let _trace = obs::trace::begin(job.trace_id);
-    // The queue wait was measured by timestamps on another thread; file
-    // it as an already-closed root span so the tree answers "how long did
-    // R sit in admission" next to "how long did R evaluate".
-    let waited = job.queued_at.elapsed();
-    let wait_ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
-    obs::trace::span_event(
-        "admission.wait",
-        obs::flight::now_ns().saturating_sub(wait_ns),
-        wait_ns,
-        &[("class", class.label())],
-    );
-    let _span = obs::span("serve.request");
+    // Mark the request in flight before any frame leaves. The terminal
+    // frame is sent inside dispatch, *before* the span guard drops and
+    // the profile is recorded; removal below happens after both, so the
+    // reader thread's `Trace`/`Profile` fence (`await_settled`) gives
+    // clients a real guarantee instead of a race.
+    let trace_id = job.trace_id;
+    shared.inflight.lock().unwrap().insert(trace_id);
     let t0 = Instant::now();
-    let id = job.request.id;
-    // Counted before the answer streams so a client that saw its reply
-    // and immediately asks for Stats reads its own request in the count.
-    shared.stats.queries.fetch_add(1, Ordering::Relaxed);
-    obs::inc("serve.queries");
-    let sent = match &job.request.body {
-        RequestBody::Explore {
-            attributes,
-            bbox,
-            window,
-        } => serve_explore(
-            shared,
-            &job.endpoint,
-            id,
-            job.conn,
-            attributes,
-            *bbox,
-            *window,
-        ),
-        RequestBody::Sql { window, sql } => serve_sql(shared, &job.endpoint, id, *window, sql),
-        RequestBody::Stats | RequestBody::Trace { .. } => {
-            unreachable!("control frames are answered on the reader thread")
-        }
-    };
-    // A send error means the client vanished mid-answer; nothing to do.
-    let _ = sent;
+    {
+        // Install the trace context minted at admission: every span/event
+        // on this thread until the guard drops files under the request's
+        // trace.
+        let _trace = obs::trace::begin(trace_id);
+        // The queue wait was measured by timestamps on another thread;
+        // file it as an already-closed root span so the tree answers "how
+        // long did R sit in admission" next to "how long did R evaluate".
+        let waited = job.queued_at.elapsed();
+        let wait_ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
+        obs::trace::span_event(
+            "admission.wait",
+            obs::flight::now_ns().saturating_sub(wait_ns),
+            wait_ns,
+            &[("class", class.label())],
+        );
+        let _span = obs::span("serve.request");
+        let id = job.request.id;
+        // Counted before the answer streams so a client that saw its
+        // reply and immediately asks for Stats reads its own request in
+        // the count.
+        shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+        obs::inc("serve.queries");
+        // Account every byte/row/epoch this request costs; the finished
+        // profile is retained for the Profile control frame.
+        let cost = obs::cost::begin(trace_id);
+        let sent = match &job.request.body {
+            RequestBody::Explore {
+                attributes,
+                bbox,
+                window,
+            } => serve_explore(
+                shared,
+                &job.endpoint,
+                id,
+                job.conn,
+                attributes,
+                *bbox,
+                *window,
+            ),
+            RequestBody::Sql { window, sql } => serve_sql(shared, &job.endpoint, id, *window, sql),
+            RequestBody::Stats | RequestBody::Trace { .. } | RequestBody::Profile { .. } => {
+                unreachable!("control frames are answered on the reader thread")
+            }
+        };
+        shared.profiles.lock().unwrap().record(cost.finish());
+        // A send error means the client vanished mid-answer; nothing to
+        // do.
+        let _ = sent;
+        // `_span` and `_trace` drop here: the request's span tree is
+        // fully filed before the in-flight mark clears.
+    }
+    shared.inflight.lock().unwrap().remove(&trace_id);
     let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     match class {
         Class::Interactive => shared.lat_interactive.record(micros),
         Class::Scan => shared.lat_scan.record(micros),
+    }
+}
+
+/// Wait (bounded) until `trace_id` is no longer being served, so a
+/// `Trace`/`Profile` reply reflects the request's complete span tree and
+/// recorded profile. In the synchronous client pattern the awaited
+/// request has already sent its terminal frame, so this settles in
+/// microseconds; the bound keeps a worker stalled on a slow client from
+/// ever wedging the reader thread.
+fn await_settled(shared: &Shared, trace_id: u64) {
+    let deadline = Instant::now() + Duration::from_millis(50);
+    while shared.inflight.lock().unwrap().contains(&trace_id) {
+        if Instant::now() >= deadline {
+            return;
+        }
+        std::thread::yield_now();
     }
 }
 
@@ -526,6 +642,7 @@ fn answer_control(shared: &Shared, ep: &Endpoint, request: &Request) -> Result<(
             } else {
                 *trace_id
             };
+            await_settled(shared, resolved);
             let spans = obs::flight()
                 .trace(resolved)
                 .into_iter()
@@ -542,6 +659,18 @@ fn answer_control(shared: &Shared, ep: &Endpoint, request: &Request) -> Result<(
             ResponseBody::Trace(TraceFrame {
                 trace_id: resolved,
                 spans,
+            })
+        }
+        RequestBody::Profile { trace_id } => {
+            // id 0 resolves to the latest *recorded* profile, which is
+            // consistent by definition; a specific id fences first.
+            if *trace_id != 0 {
+                await_settled(shared, *trace_id);
+            }
+            let (resolved, metrics) = shared.profiles.lock().unwrap().lookup(*trace_id);
+            ResponseBody::Profile(ProfileFrame {
+                trace_id: resolved,
+                metrics,
             })
         }
         _ => unreachable!("answer_control is only called for control frames"),
@@ -738,6 +867,9 @@ fn stream_exact(
 /// cache is already warm there).
 fn prefetch(shared: &Shared, conn: u64, window: (u32, u32), fw: &SpateFramework) {
     let _span = obs::span("serve.prefetch");
+    // Speculative work: collect its cost into a throwaway profile so the
+    // triggering request's EXPLAIN ANALYZE shows only its own bytes.
+    let _cost = obs::cost::begin(0);
     let contained = {
         let mut sessions = shared.sessions.lock().unwrap();
         let prev = sessions.insert(conn, window);
@@ -774,6 +906,10 @@ fn prefetch(shared: &Shared, conn: u64, window: (u32, u32), fw: &SpateFramework)
 /// called under the framework read lock (cache coherence contract).
 fn evaluate_cached(fw: &SpateFramework, cache: &EpochCache, q: &Query) -> QueryResult {
     let _span = obs::span("serve.evaluate");
+    let heat = fw.index().heat();
+    for attr in &q.attributes {
+        heat.touch_attribute(attr);
+    }
     match fw.index().find_covering(q.window.0, q.window.1) {
         Covering::Exact(leaves) => {
             let requested = leaves.len() as u32;
@@ -782,11 +918,14 @@ fn evaluate_cached(fw: &SpateFramework, cache: &EpochCache, q: &Query) -> QueryR
             let traced = obs::trace::current().is_some();
             for leaf in &leaves {
                 if let Some(hit) = cache.get(leaf.epoch) {
+                    heat.record_cache(leaf.epoch, true);
+                    obs::cost::touch_epoch(u64::from(leaf.epoch.0));
                     if traced {
                         obs::trace::event("cache.hit", &[("epoch", &leaf.epoch.0.to_string())]);
                     }
                     arcs.push(hit);
                 } else {
+                    heat.record_cache(leaf.epoch, false);
                     if traced {
                         obs::trace::event("cache.miss", &[("epoch", &leaf.epoch.0.to_string())]);
                     }
@@ -857,8 +996,11 @@ impl ExplorationFramework for CachedView<'_> {
 
     fn load_epoch(&self, epoch: EpochId) -> Option<Snapshot> {
         if let Some(hit) = self.cache.get(epoch) {
+            self.fw.index().heat().record_cache(epoch, true);
+            obs::cost::touch_epoch(u64::from(epoch.0));
             return Some((*hit).clone());
         }
+        self.fw.index().heat().record_cache(epoch, false);
         let snap = self.fw.load_epoch(epoch)?;
         self.cache.insert(epoch, Arc::new(snap.clone()));
         Some(snap)
@@ -907,6 +1049,8 @@ pub enum Reply {
     Stats(StatsFrame),
     /// One request's span tree out of the flight recorder.
     Trace(TraceFrame),
+    /// One request's cost profile (EXPLAIN ANALYZE over the wire).
+    Profile(ProfileFrame),
 }
 
 impl Reply {
@@ -959,6 +1103,16 @@ impl ClientConn {
     pub fn trace(&mut self, trace_id: u64) -> Result<TraceFrame, TransportError> {
         match self.roundtrip(RequestBody::Trace { trace_id })? {
             Reply::Trace(frame) => Ok(frame),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Fetch one request's cost profile; `trace_id == 0` means "the most
+    /// recently profiled request". Unknown/evicted ids answer with an
+    /// empty metrics list.
+    pub fn profile(&mut self, trace_id: u64) -> Result<ProfileFrame, TransportError> {
+        match self.roundtrip(RequestBody::Profile { trace_id })? {
+            Reply::Profile(frame) => Ok(frame),
             other => Err(unexpected_reply(&other)),
         }
     }
@@ -1064,6 +1218,7 @@ impl ClientConn {
                 ResponseBody::Unavailable => return Ok(Reply::Unavailable),
                 ResponseBody::Stats(frame) => return Ok(Reply::Stats(frame)),
                 ResponseBody::Trace(frame) => return Ok(Reply::Trace(frame)),
+                ResponseBody::Profile(frame) => return Ok(Reply::Profile(frame)),
             }
         }
     }

@@ -140,6 +140,117 @@ fn trace_frame_answers_why_was_request_r_slow() {
     server.shutdown();
 }
 
+/// The Profile frame answers "what did request R cost" over the wire:
+/// a cold explore pays storage reads and cache misses, the warm repeat
+/// pays neither, both reconcile byte-exactly, and every served epoch
+/// accrues heat in the index's ledger.
+#[test]
+fn profile_frame_reports_request_cost_and_heat_accrues() {
+    let (layout, snaps) = trace_snaps(6);
+    let fs = dfs::Dfs::new(dfs::DfsConfig::default());
+    let mut fw = SpateFramework::new(fs, layout);
+    for s in &snaps {
+        fw.ingest(s);
+    }
+    // One worker so requests are served in order: by the time request
+    // N+1 answers, request N's profile is guaranteed recorded.
+    let server = Server::start(
+        fw,
+        ServeConfig {
+            workers: 1,
+            prefetch: false,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = server.connect();
+
+    client
+        .explore(&["upflux"], BoundingBox::everything(), (1, 3))
+        .unwrap();
+    let cold_id = client.last_trace_id().unwrap();
+    client
+        .explore(&["upflux"], BoundingBox::everything(), (1, 3))
+        .unwrap();
+    let warm_id = client.last_trace_id().unwrap();
+    // A third request fences the warm profile into the store.
+    client
+        .explore(&["upflux"], BoundingBox::everything(), (5, 5))
+        .unwrap();
+
+    let get = |f: &spate_serve::ProfileFrame, k: &str| -> String {
+        f.metrics
+            .iter()
+            .find(|(m, _)| m == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing metric {k} in {:?}", f.metrics))
+    };
+
+    // Cold: 3 epochs loaded through dfs, one miss each, zero leak.
+    let cold = client.profile(cold_id).unwrap();
+    assert_eq!(cold.trace_id, cold_id);
+    assert_eq!(get(&cold, "epochs_touched"), "3");
+    assert_eq!(get(&cold, "cache_misses"), "3");
+    assert_eq!(get(&cold, "cache_hits"), "0");
+    assert_eq!(get(&cold, "unattributed_bytes"), "0");
+    assert!(get(&cold, "bytes_read.total").parse::<u64>().unwrap() > 0);
+    assert!(get(&cold, "rows_scanned").parse::<u64>().unwrap() > 0);
+
+    // Warm: all hits, not one byte read from storage.
+    let warm = client.profile(warm_id).unwrap();
+    assert_eq!(get(&warm, "epochs_touched"), "3");
+    assert_eq!(get(&warm, "cache_hits"), "3");
+    assert_eq!(get(&warm, "cache_misses"), "0");
+    assert_eq!(get(&warm, "bytes_read.total"), "0");
+
+    // trace_id 0 resolves to the latest profiled request; an unknown id
+    // answers with an empty frame instead of an error.
+    let latest = client.profile(0).unwrap();
+    assert_ne!(latest.trace_id, 0);
+    assert!(!latest.metrics.is_empty());
+    let unknown = client.profile(u64::MAX).unwrap();
+    assert!(unknown.metrics.is_empty());
+
+    // EXPLAIN ANALYZE travels the SQL path as ordinary result rows.
+    match client
+        .sql((1, 3), "EXPLAIN ANALYZE SELECT caller_id FROM CDR")
+        .unwrap()
+    {
+        Reply::Rows { tables, rows, .. } => {
+            assert_eq!(tables[0].columns, vec!["metric", "value"]);
+            use telco_trace::record::Value;
+            let metrics: Vec<&str> = rows[0]
+                .iter()
+                .filter_map(|r| match &r[0] {
+                    Value::Str(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            assert!(metrics.contains(&"unattributed_bytes"), "{metrics:?}");
+            assert!(metrics.contains(&"rows_scanned"), "{metrics:?}");
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    // Heat ledger: the twice-served epochs carry both their miss and
+    // their hit; the once-served epoch 5 is tracked too.
+    let report = server.heat_report();
+    for e in 1..=3u32 {
+        let entry = report
+            .epochs
+            .iter()
+            .find(|h| h.epoch == EpochId(e))
+            .unwrap_or_else(|| panic!("epoch {e} missing from heat report"));
+        assert!(entry.cache_hits >= 1, "{entry:?}");
+        assert!(entry.cache_misses >= 1, "{entry:?}");
+    }
+    assert!(report.epochs.iter().any(|h| h.epoch == EpochId(5)));
+    // The explore attribute accrued attribute heat.
+    assert!(report.attributes.iter().any(|(name, ..)| name == "upflux"));
+
+    client.close();
+    server.shutdown();
+}
+
 /// The stats frame reflects server state live, including mid-run values
 /// a shutdown-time report can't give you.
 #[test]

@@ -140,6 +140,16 @@ pub struct OrderBy {
     pub descending: bool,
 }
 
+/// A top-level statement: a SELECT, optionally wrapped in
+/// `EXPLAIN ANALYZE` (execute the query under per-query cost accounting
+/// and return the resulting [`obs::CostProfile`] as rows instead of the
+/// query's own result).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    pub explain_analyze: bool,
+    pub select: SelectStatement,
+}
+
 /// A full SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStatement {

@@ -114,7 +114,7 @@ impl<'a> SqlContext<'a> {
         let kind =
             TableKind::from_name(name).ok_or_else(|| SqlError::UnknownTable(name.to_string()))?;
         let schema = Schema::for_kind(kind);
-        let rows = match kind {
+        let rows: Vec<Vec<Value>> = match kind {
             TableKind::Cdr => self
                 .fw
                 .scan(self.window.0, self.window.1)
@@ -135,7 +135,23 @@ impl<'a> SqlContext<'a> {
                 .map(|r| r.values)
                 .collect(),
         };
+        // Every materialized base-table row is a scanned row in the
+        // active cost profile (no-op outside EXPLAIN ANALYZE / serve).
+        obs::cost::add_rows(rows.len() as u64, 0);
         Ok((schema, rows))
+    }
+}
+
+/// Render a [`obs::CostProfile`] as a two-column result set — the output
+/// shape of `EXPLAIN ANALYZE`.
+pub fn profile_result_set(profile: &obs::CostProfile) -> ResultSet {
+    ResultSet {
+        columns: vec!["metric".to_string(), "value".to_string()],
+        rows: profile
+            .rows()
+            .into_iter()
+            .map(|(metric, value)| vec![Value::Str(metric), Value::Str(value)])
+            .collect(),
     }
 }
 
@@ -286,6 +302,7 @@ pub fn execute(ctx: &SqlContext<'_>, stmt: &SelectStatement) -> Result<ResultSet
         out_rows.truncate(limit);
     }
 
+    obs::cost::add_rows(0, out_rows.len() as u64);
     Ok(ResultSet {
         columns,
         rows: out_rows,

@@ -29,13 +29,36 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Expr, SelectItem, SelectStatement};
+pub use ast::{Expr, SelectItem, SelectStatement, Statement};
 pub use exec::{ResultSet, SqlContext, SqlError};
 
 /// Parse and execute one SQL statement in a context.
+///
+/// `EXPLAIN ANALYZE <select>` executes the SELECT under per-query cost
+/// accounting and returns the collected [`obs::CostProfile`] as a
+/// two-column `(metric, value)` result set instead of the query's rows.
 pub fn query(ctx: &SqlContext<'_>, sql: &str) -> Result<ResultSet, SqlError> {
-    let stmt = parser::parse(sql).map_err(SqlError::Parse)?;
-    exec::execute(ctx, &stmt)
+    let stmt = parser::parse_statement(sql).map_err(SqlError::Parse)?;
+    if stmt.explain_analyze {
+        return Ok(exec::profile_result_set(
+            &query_profiled(ctx, &stmt.select)?.1,
+        ));
+    }
+    exec::execute(ctx, &stmt.select)
+}
+
+/// Execute a parsed SELECT under cost accounting, returning both the
+/// result and its [`obs::CostProfile`]. This is what `EXPLAIN ANALYZE`
+/// uses; the serving tier calls it directly so it can return the rows to
+/// the client *and* retain the profile for the Profile control frame.
+pub fn query_profiled(
+    ctx: &SqlContext<'_>,
+    stmt: &SelectStatement,
+) -> Result<(ResultSet, obs::CostProfile), SqlError> {
+    let guard = obs::cost::begin(obs::trace::current().unwrap_or(0));
+    let result = exec::execute(ctx, stmt);
+    let profile = guard.finish();
+    result.map(|rs| (rs, profile))
 }
 
 /// One-call entry point for embedders (the serving tier, notebooks):

@@ -3,18 +3,39 @@
 use crate::ast::*;
 use crate::lexer::{tokenize, Token};
 
-/// Parse one SELECT statement (optionally `;`-terminated).
+/// Parse one SELECT statement (optionally `;`-terminated). Rejects
+/// `EXPLAIN ANALYZE` — use [`parse_statement`] at entry points that
+/// support it.
 pub fn parse(sql: &str) -> Result<SelectStatement, String> {
+    let stmt = parse_statement(sql)?;
+    if stmt.explain_analyze {
+        return Err("EXPLAIN ANALYZE is not valid here (nested statement)".into());
+    }
+    Ok(stmt.select)
+}
+
+/// Parse one top-level statement: `[EXPLAIN ANALYZE] SELECT …`.
+pub fn parse_statement(sql: &str) -> Result<Statement, String> {
     let tokens = tokenize(sql)?;
     let mut p = Parser { tokens, pos: 0 };
-    let stmt = p.select_statement()?;
+    let explain_analyze = if p.peek_kw("EXPLAIN") {
+        p.pos += 1;
+        p.expect_kw("ANALYZE")?;
+        true
+    } else {
+        false
+    };
+    let select = p.select_statement()?;
     if p.peek().is_some_and(|t| *t == Token::Semicolon) {
         p.pos += 1;
     }
     if let Some(t) = p.peek() {
         return Err(format!("trailing input at token {t}"));
     }
-    Ok(stmt)
+    Ok(Statement {
+        explain_analyze,
+        select,
+    })
 }
 
 struct Parser {
