@@ -6,15 +6,16 @@
 //!       [--introspect] [--trace-json PATH]
 //!
 //! EXPERIMENT: table1 | fig4 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
-//!             | decay | chaos | serve | trace | cas | heat | space-summary
-//!             | all (default)
+//!             | decay | chaos | serve | chaos-serve | trace | cas | heat
+//!             | space-summary | all (default)
 //!
-//! --seed N             workload/fault-plan seed for the chaos, serve, trace,
-//!                      cas and heat experiments (default 7); two runs with
-//!                      the same seed print identical `chaos:`/`serve:`/
+//! --seed N             workload/fault-plan seed for the chaos, serve,
+//!                      chaos-serve, trace, cas and heat experiments
+//!                      (default 7); two runs with the same seed print
+//!                      identical `chaos:`/`serve:`/`chaos-serve:`/
 //!                      `trace:`/`cas:`/`heat:` lines
-//! --clients N          concurrent clients for the serve experiment
-//!                      (default 8)
+//! --clients N          concurrent clients for the serve and chaos-serve
+//!                      experiments (default 8)
 //! --cas                run the chaos experiment over the content-addressed
 //!                      storage backend instead of the path backend
 //!
@@ -116,6 +117,7 @@ fn main() {
         "decay" => decay_run(&config),
         "chaos" => chaos_run(&config, seed, cas_backend),
         "serve" => serve_run(&config, clients, seed, introspect),
+        "chaos-serve" => chaos_serve_run(&config, clients, seed),
         "trace" => trace_run(&config, seed),
         "cas" => cas_run(&config, seed),
         "heat" => heat_run(&config, seed),
@@ -171,6 +173,11 @@ EXPERIMENTS:
     serve            concurrent serving tier: seeded clients, mid-run decay,
                      latency percentiles, shed rate, cache hit ratio,
                      meta-highlights self-monitoring
+    chaos-serve      adversarial serving-tier drill: poison queries, deadline
+                     storms, cancel races, malformed frames, mid-stream
+                     disconnects, then serving over a chaos-faulted DFS with
+                     replica circuit breakers — gates on zero server deaths
+                     and a terminal frame for every request
     trace            trace one seeded request end-to-end (cold vs warm) and
                      print its span tree — \"why was request R slow\"
     cas              content-addressed store vs. path store: dedup ratio,
@@ -184,8 +191,9 @@ FLAGS:
     --scale 1/N          trace scale relative to the paper's 5 GB (default 1/128)
     --days D             days of trace to generate
     --unthrottled        disable the cluster-disk I/O model
-    --seed N             seed for chaos/serve/trace/cas/heat workloads (default 7)
-    --clients N          concurrent clients for serve (default 8)
+    --seed N             seed for chaos/serve/chaos-serve/trace/cas/heat
+                         workloads (default 7)
+    --clients N          concurrent clients for serve and chaos-serve (default 8)
     --cas                run chaos over the content-addressed backend
     --profile            print the span flame table after the experiment
     --metrics-json PATH  dump the metric registry (counters, gauges including
@@ -195,8 +203,9 @@ FLAGS:
                          (open in chrome://tracing or Perfetto)
     -h, --help           this text
 
-Machine-readable reports: chaos, serve, cas and heat write BENCH_CHAOS.json,
-BENCH_SERVE.json, BENCH_CAS.json and BENCH_HEAT.json next to the run output."
+Machine-readable reports: chaos, serve, chaos-serve, cas and heat write
+BENCH_CHAOS.json, BENCH_SERVE.json, BENCH_CHAOS_SERVE.json, BENCH_CAS.json
+and BENCH_HEAT.json next to the run output."
     );
 }
 
@@ -508,6 +517,76 @@ fn serve_run(config: &BenchConfig, clients: usize, seed: u64, introspect: bool) 
             ("cache_hit_ratio", format!("{:.3}", r.cache.hit_ratio())),
             ("stale_reads", r.stale_reads.to_string()),
             ("protocol_errors", r.protocol_errors.to_string()),
+        ],
+    );
+}
+
+fn chaos_serve_run(config: &BenchConfig, clients: usize, seed: u64) {
+    println!("\n## Chaos-serve — adversarial serving-tier survivability drill\n");
+    let r = spate_bench::chaos_serve_experiment(config, clients, seed);
+    // Every `chaos-serve:` line is a pure function of (seed, clients,
+    // scale) — CI runs the drill twice and diffs them byte-for-byte.
+    for line in r.deterministic_lines() {
+        println!("chaos-serve: {line}");
+    }
+    // Timing-dependent: wall time and timing-stream meta advisories
+    // (deadline/cancel interrupts, shed pressure) vary run to run.
+    println!(
+        "chaos-serve-perf: wall={:.3}s meta_anomalies_total={} (timing-stream advisories included)",
+        r.wall_secs, r.anomalies_total
+    );
+    println!(
+        "(acceptance: all_terminal=true, survived=true, poison isolated={}/{}, \
+         inconsistent_coverage=0, recovered_closed=true, degraded_unavailable=true, \
+         same seed → identical `chaos-serve:` lines)",
+        r.poison_isolated, r.poison_queries
+    );
+    // No timing fields in the JSON: CI byte-compares two same-seed runs.
+    write_bench_json(
+        "BENCH_CHAOS_SERVE.json",
+        &[
+            ("experiment", "\"chaos-serve\"".into()),
+            ("seed", r.seed.to_string()),
+            ("clients", r.clients.to_string()),
+            ("requests_awaited", r.requests_awaited.to_string()),
+            ("terminal_frames", r.terminal_frames.to_string()),
+            ("all_terminal", r.all_terminal().to_string()),
+            ("survived_storm", r.survived_storm.to_string()),
+            ("healthy_queries", r.healthy_queries.to_string()),
+            ("healthy_rows", r.healthy_rows.to_string()),
+            ("poison_queries", r.poison_queries.to_string()),
+            ("poison_isolated", r.poison_isolated.to_string()),
+            ("worker_panics", r.worker_panics.to_string()),
+            ("worker_respawns", r.worker_respawns.to_string()),
+            ("deadline_storms", r.deadline_storms.to_string()),
+            ("deadline_partials", r.deadline_partials.to_string()),
+            ("cancels_sent", r.cancels_sent.to_string()),
+            ("cancel_partials", r.cancel_partials.to_string()),
+            ("malformed_frames", r.malformed_frames.to_string()),
+            ("malformed_rejected", r.malformed_rejected.to_string()),
+            ("protocol_errors", r.protocol_errors.to_string()),
+            ("disconnects", r.disconnects.to_string()),
+            ("sheds_seen", r.sheds_seen.to_string()),
+            ("meta_ticks", r.meta_ticks.to_string()),
+            ("survive_anomalies", r.survive_anomalies.to_string()),
+            ("dfs_ingest_failures", r.dfs_ingest_failures.to_string()),
+            ("dfs_queries", r.dfs_queries.to_string()),
+            ("dfs_exact", r.dfs_exact.to_string()),
+            ("dfs_partial", r.dfs_partial.to_string()),
+            ("dfs_unavailable", r.dfs_unavailable.to_string()),
+            (
+                "dfs_inconsistent_coverage",
+                r.dfs_inconsistent_coverage.to_string(),
+            ),
+            ("dfs_breaker_trips", r.dfs_breaker_trips.to_string()),
+            (
+                "drill_recovered_closed",
+                r.drill_recovered_closed.to_string(),
+            ),
+            (
+                "drill_degraded_unavailable",
+                r.drill_degraded_unavailable.to_string(),
+            ),
         ],
     );
 }

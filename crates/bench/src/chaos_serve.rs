@@ -1,0 +1,716 @@
+//! Adversarial serving-tier chaos drill (`repro chaos-serve`).
+//!
+//! Three seeded phases, each designed so its outcome is a pure function
+//! of `(seed, clients, scale)`:
+//!
+//! 1. **Survivability storm** — seeded clients hammer one in-memory
+//!    server with a shuffled mix of healthy explorations, poison queries
+//!    (worker panics), deadline storms (1 ms deadlines behind a 5 ms
+//!    chaos stall) and cancel races; meanwhile the main thread injects a
+//!    malformed frame, a mid-stream disconnect and a slow client. The
+//!    server runs one worker, so every job serializes: once the final
+//!    health probe answers, every earlier request — including the one
+//!    whose client vanished — has fully settled, and panic/cancel/
+//!    deadline counters are exact.
+//! 2. **Degraded dfs-backed serving** — the same serving tier mounted
+//!    over a DFS with a seeded [`FaultConfig::chaos`] plan and circuit
+//!    breakers enabled. One client, one worker, no prefetch: the dfs op
+//!    sequence (and therefore the op-indexed fault schedule, failovers
+//!    and breaker transitions) is deterministic, so the exact/partial/
+//!    unavailable split diffs byte-for-byte across runs.
+//! 3. **Breaker state-machine drill** — a direct, placement-pinned
+//!    walk of the per-datanode breaker: trip on consecutive verified
+//!    read failures, cool down on the op clock, probe half-open,
+//!    recover closed after repair, and degrade to `BlockUnavailable`
+//!    (never a hang) when every replica sits behind an open breaker.
+//!
+//! Deterministic fields print as `chaos-serve:` lines (CI runs the
+//! drill twice and diffs them); wall time and timing-stream anomaly
+//! advisories print as `chaos-serve-perf:` lines and are never diffed.
+
+use crate::BenchConfig;
+use dfs::{BreakerConfig, BreakerState, Dfs, DfsConfig, DfsError, FaultConfig, IoModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spate_core::framework::{ExplorationFramework, SpateFramework};
+use spate_serve::proto::{errcode, MAGIC, VERSION};
+use spate_serve::{
+    Reply, RequestBody, ServeConfig, Server, CHAOS_PANIC_ATTRIBUTE, CHAOS_STALL_ATTRIBUTE,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use telco_trace::cells::BoundingBox;
+use telco_trace::time::EPOCHS_PER_DAY;
+use telco_trace::{Snapshot, TraceConfig, TraceGenerator};
+
+/// Epochs ingested for the storm phase (all retained, no decay).
+const STORM_EPOCHS: usize = 12;
+/// Calm monitor ticks before the storm, arming θ-rarity detection.
+const CALM_TICKS: usize = 6;
+/// Per-client storm workload mix.
+const HEALTHY_PER_CLIENT: usize = 8;
+const POISON_PER_CLIENT: usize = 2;
+const STORMS_PER_CLIENT: usize = 2;
+const CANCELS_PER_CLIENT: usize = 2;
+
+/// Outcome of the chaos-serve drill. Everything above `wall_secs` is a
+/// pure function of `(seed, clients, scale)` — [`deterministic_lines`]
+/// renders those fields and CI diffs two same-seed runs byte-for-byte.
+///
+/// [`deterministic_lines`]: ChaosServeReport::deterministic_lines
+#[derive(Debug, Clone)]
+pub struct ChaosServeReport {
+    pub seed: u64,
+    pub clients: usize,
+    /// Storm requests a client waited on (poison/deadline/cancel/healthy).
+    pub requests_awaited: u64,
+    /// Storm requests that received a terminal frame (rows, summary,
+    /// shed, or error — anything that lets the client move on).
+    pub terminal_frames: u64,
+    pub healthy_queries: u64,
+    pub healthy_rows: u64,
+    pub poison_queries: u64,
+    /// Poison queries answered with an `INTERNAL` error terminal frame.
+    pub poison_isolated: u64,
+    pub deadline_storms: u64,
+    /// Deadline storms that honestly degraded: `Partial` coverage with
+    /// zero epochs served (the 5 ms stall guarantees the 1 ms deadline
+    /// is spent before the first checkpoint).
+    pub deadline_partials: u64,
+    pub cancels_sent: u64,
+    /// Cancelled requests that terminated with `Partial` zero-served
+    /// coverage instead of hanging or erroring.
+    pub cancel_partials: u64,
+    pub malformed_frames: u64,
+    /// Malformed frames answered with `BAD_REQUEST` *and* followed by a
+    /// connection drop (the byte stream is unrecoverable past garbage).
+    pub malformed_rejected: u64,
+    pub disconnects: u64,
+    pub slow_rows: u64,
+    /// Load sheds observed by storm clients — expected 0 (the drill's
+    /// queue is deeper than its maximum outstanding load).
+    pub sheds_seen: u64,
+    /// Server-side stats after shutdown — all workload-deterministic.
+    pub server_queries: u64,
+    pub worker_panics: u64,
+    pub worker_respawns: u64,
+    pub cancelled_counted: u64,
+    pub deadline_expired_counted: u64,
+    pub protocol_errors: u64,
+    /// A fresh connection answered a healthy query after the storm.
+    pub survived_storm: bool,
+    pub meta_ticks: u64,
+    /// Deterministic-stream meta anomalies (the `serve.survive` stream
+    /// flagging the panic burst) — ≥ 1 in any storm run.
+    pub survive_anomalies: u64,
+    // ---- phase 2: dfs-backed serving under storage chaos ----
+    pub dfs_epochs_ingested: usize,
+    pub dfs_ingest_retries: u64,
+    pub dfs_ingest_failures: u64,
+    pub dfs_queries: u64,
+    pub dfs_exact: u64,
+    pub dfs_partial: u64,
+    pub dfs_unavailable: u64,
+    /// Degraded answers whose coverage arithmetic did not add up — must
+    /// be 0 (degradation is honest or it is a bug).
+    pub dfs_inconsistent_coverage: u64,
+    pub dfs_checksum_mismatches: u64,
+    pub dfs_read_failovers: u64,
+    pub dfs_breaker_trips: u64,
+    pub dfs_breaker_recoveries: u64,
+    pub dfs_breaker_skipped: u64,
+    // ---- phase 3: breaker state-machine drill ----
+    pub drill_trips: u64,
+    pub drill_probes: u64,
+    pub drill_recoveries: u64,
+    pub drill_reopens: u64,
+    pub drill_skipped: u64,
+    pub drill_recovered_closed: bool,
+    pub drill_degraded_unavailable: bool,
+    // ---- timing-dependent below (never diffed) ----
+    /// All meta anomalies including timing-stream advisories (shed
+    /// pressure, latency inflation, cancel/deadline races).
+    pub anomalies_total: u64,
+    pub wall_secs: f64,
+}
+
+impl ChaosServeReport {
+    /// Every storm request got a terminal frame — the no-hung-client gate.
+    pub fn all_terminal(&self) -> bool {
+        self.requests_awaited > 0 && self.terminal_frames == self.requests_awaited
+    }
+
+    /// The diffable report: one string per `chaos-serve:` output line,
+    /// covering every deterministic field and nothing time-derived. The
+    /// determinism test and the `repro` binary both render from here, so
+    /// the CI diff and the in-process assertion can never drift apart.
+    pub fn deterministic_lines(&self) -> Vec<String> {
+        vec![
+            format!(
+                "seed={} clients={} requests_awaited={} terminal_frames={} all_terminal={}",
+                self.seed,
+                self.clients,
+                self.requests_awaited,
+                self.terminal_frames,
+                self.all_terminal()
+            ),
+            format!(
+                "storm healthy={} healthy_rows={} slow_rows={} disconnects={} sheds={}",
+                self.healthy_queries,
+                self.healthy_rows,
+                self.slow_rows,
+                self.disconnects,
+                self.sheds_seen
+            ),
+            format!(
+                "storm poison sent={} isolated={} worker_panics={} worker_respawns={}",
+                self.poison_queries, self.poison_isolated, self.worker_panics, self.worker_respawns
+            ),
+            format!(
+                "storm deadline storms={} partials={} expired_counted={}",
+                self.deadline_storms, self.deadline_partials, self.deadline_expired_counted
+            ),
+            format!(
+                "storm cancel sent={} partials={} cancelled_counted={}",
+                self.cancels_sent, self.cancel_partials, self.cancelled_counted
+            ),
+            format!(
+                "storm malformed sent={} rejected={} protocol_errors={}",
+                self.malformed_frames, self.malformed_rejected, self.protocol_errors
+            ),
+            format!(
+                "storm survived={} server_queries={} meta_ticks={} survive_anomalies={}",
+                self.survived_storm, self.server_queries, self.meta_ticks, self.survive_anomalies
+            ),
+            format!(
+                "dfs epochs={} ingest_retries={} ingest_failures={} queries={} exact={} partial={} unavailable={} inconsistent_coverage={}",
+                self.dfs_epochs_ingested,
+                self.dfs_ingest_retries,
+                self.dfs_ingest_failures,
+                self.dfs_queries,
+                self.dfs_exact,
+                self.dfs_partial,
+                self.dfs_unavailable,
+                self.dfs_inconsistent_coverage
+            ),
+            format!(
+                "dfs faults checksum_mismatches={} read_failovers={} breaker_trips={} breaker_recoveries={} breaker_skipped={}",
+                self.dfs_checksum_mismatches,
+                self.dfs_read_failovers,
+                self.dfs_breaker_trips,
+                self.dfs_breaker_recoveries,
+                self.dfs_breaker_skipped
+            ),
+            format!(
+                "drill trips={} probes={} recoveries={} reopens={} skipped={} recovered_closed={} degraded_unavailable={}",
+                self.drill_trips,
+                self.drill_probes,
+                self.drill_recoveries,
+                self.drill_reopens,
+                self.drill_skipped,
+                self.drill_recovered_closed,
+                self.drill_degraded_unavailable
+            ),
+        ]
+    }
+}
+
+/// Swallow the intentional poison-query panics (they would spam stderr
+/// once per injection); every other panic still reaches the previous
+/// hook. Installed once per process — the filter is transparent for
+/// everything but the drill's own marker message.
+fn install_quiet_poison_hook() {
+    use std::sync::Once;
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let poison = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("poison query"));
+            if !poison {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[derive(Default)]
+struct StormOutcome {
+    awaited: u64,
+    terminal: u64,
+    healthy: u64,
+    rows: u64,
+    poison_ok: u64,
+    storm_ok: u64,
+    cancel_ok: u64,
+    sheds: u64,
+}
+
+impl StormOutcome {
+    fn merge(&mut self, other: StormOutcome) {
+        self.awaited += other.awaited;
+        self.terminal += other.terminal;
+        self.healthy += other.healthy;
+        self.rows += other.rows;
+        self.poison_ok += other.poison_ok;
+        self.storm_ok += other.storm_ok;
+        self.cancel_ok += other.cancel_ok;
+        self.sheds += other.sheds;
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Op {
+    Healthy,
+    Poison,
+    DeadlineStorm,
+    CancelRace,
+}
+
+/// One storm client: a seeded, shuffled mix of healthy and adversarial
+/// requests over a single connection. Every op waits for its terminal
+/// frame, so the per-op outcome classification is exact.
+fn storm_client(server: &Server, seed: u64, id: u64) -> StormOutcome {
+    let mut conn = server.connect();
+    let mut rng = StdRng::seed_from_u64(seed ^ id.wrapping_mul(0x9E37_79B9));
+    let mut out = StormOutcome::default();
+
+    let mut ops = Vec::new();
+    ops.extend(std::iter::repeat_n(Op::Healthy, HEALTHY_PER_CLIENT));
+    ops.extend(std::iter::repeat_n(Op::Poison, POISON_PER_CLIENT));
+    ops.extend(std::iter::repeat_n(Op::DeadlineStorm, STORMS_PER_CLIENT));
+    ops.extend(std::iter::repeat_n(Op::CancelRace, CANCELS_PER_CLIENT));
+    // Fisher–Yates off the client's seeded rng (the rand shim carries no
+    // shuffle helper): adversarial ops interleave with healthy ones in a
+    // per-client deterministic order.
+    for i in (1..ops.len()).rev() {
+        ops.swap(i, rng.gen_range(0..=i));
+    }
+
+    for op in ops {
+        out.awaited += 1;
+        let reply = match op {
+            Op::Healthy => {
+                let start = rng.gen_range(0..STORM_EPOCHS as u32 - 4);
+                let len = rng.gen_range(1..=4);
+                conn.explore(
+                    &["upflux", "downflux"],
+                    BoundingBox::everything(),
+                    (start, start + len - 1),
+                )
+            }
+            Op::Poison => conn.explore(&[CHAOS_PANIC_ATTRIBUTE], BoundingBox::everything(), (0, 1)),
+            Op::DeadlineStorm => conn.explore_with_deadline(
+                &["upflux", CHAOS_STALL_ATTRIBUTE],
+                BoundingBox::everything(),
+                (0, 5),
+                1,
+            ),
+            Op::CancelRace => conn
+                .send(RequestBody::Explore {
+                    attributes: vec!["upflux".into(), CHAOS_STALL_ATTRIBUTE.into()],
+                    bbox: (f64::MIN, f64::MIN, f64::MAX, f64::MAX),
+                    window: (0, 5),
+                    deadline_ms: 0,
+                })
+                .and_then(|id| {
+                    conn.cancel(id)?;
+                    conn.await_reply(id)
+                }),
+        };
+        let Ok(reply) = reply else {
+            continue; // no terminal frame — the all_terminal gate fails
+        };
+        out.terminal += 1;
+        match (op, &reply) {
+            (_, Reply::Shed { .. }) => out.sheds += 1,
+            (
+                Op::Healthy,
+                Reply::Rows {
+                    coverage: None,
+                    total_rows,
+                    ..
+                },
+            ) => {
+                out.healthy += 1;
+                out.rows += total_rows;
+            }
+            (Op::Poison, Reply::ServerError { code, .. }) if *code == errcode::INTERNAL => {
+                out.poison_ok += 1;
+            }
+            (
+                Op::DeadlineStorm,
+                Reply::Rows {
+                    coverage: Some(c), ..
+                },
+            ) if c.served == 0 && c.unavailable == c.requested => out.storm_ok += 1,
+            (
+                Op::CancelRace,
+                Reply::Rows {
+                    coverage: Some(c), ..
+                },
+            ) if c.served == 0 => out.cancel_ok += 1,
+            _ => {} // terminal but unexpected: the diffable counts expose it
+        }
+    }
+    conn.close();
+    out
+}
+
+/// Deterministic walk of the breaker state machine over pinned replica
+/// placement (3 replicas on exactly 3 nodes: block `b`'s first replica
+/// sits on node `b % 3`), mirroring the end-to-end breaker suite so the
+/// drill proves trip → cool-down → half-open probe → recovery on every
+/// seed, independent of the chaos plan.
+struct BreakerDrill {
+    trips: u64,
+    probes: u64,
+    recoveries: u64,
+    reopens: u64,
+    skipped: u64,
+    recovered_closed: bool,
+    degraded_unavailable: bool,
+}
+
+fn breaker_drill() -> BreakerDrill {
+    let base = DfsConfig {
+        replication: 3,
+        n_datanodes: 3,
+        ..DfsConfig::default()
+    }
+    .with_block_size(64);
+    let fs = Dfs::new(base.with_breaker(BreakerConfig::new(2, 3)));
+    for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        fs.write(name, &[i as u8; 48]).expect("drill write");
+    }
+    // Blocks 1 ("a") and 4 ("d") both place their first replica on node
+    // 1: two consecutive verified-read failures there trip its breaker.
+    fs.corrupt_replica_for_test("a", 1);
+    fs.corrupt_replica_for_test("d", 1);
+    let _ = fs.read("a");
+    let _ = fs.read("d");
+    let tripped = fs.breaker_state(1) == BreakerState::Open;
+
+    // Repair replaces the corrupt copies, then the op-clock cooldown
+    // burns down on reads that never consult node 1 first.
+    fs.repair();
+    fs.drop_caches();
+    for _ in 0..3 {
+        let _ = fs.read("b");
+        fs.drop_caches();
+    }
+    // Force the half-open probe onto node 1 (repair re-appended its
+    // fresh copy at the end of the replica list): with the other nodes
+    // down, the probe read verifies and the breaker closes.
+    fs.kill_datanode(0);
+    fs.kill_datanode(2);
+    let _ = fs.read("a");
+    let recovered_closed = tripped && fs.breaker_state(1) == BreakerState::Closed;
+    fs.revive_datanode(0);
+    fs.revive_datanode(2);
+    let s = fs.breaker_stats();
+
+    // Every-replica-open degradation: a single-replica block behind the
+    // one tripped node reports BlockUnavailable instead of spinning.
+    let lone = Dfs::new(
+        DfsConfig {
+            replication: 1,
+            n_datanodes: 1,
+            ..base
+        }
+        .with_breaker(BreakerConfig::new(1, 1_000)),
+    );
+    lone.write("a", &[0u8; 48]).expect("drill write");
+    lone.write("b", &[1u8; 48]).expect("drill write");
+    lone.corrupt_replica_for_test("a", 0);
+    let _ = lone.read("a"); // trips (K = 1)
+    let degraded_unavailable = matches!(lone.read("b"), Err(DfsError::BlockUnavailable { .. }));
+
+    BreakerDrill {
+        trips: s.trips,
+        probes: s.probes,
+        recoveries: s.recoveries,
+        reopens: s.reopens,
+        skipped: s.skipped + lone.breaker_stats().skipped,
+        recovered_closed,
+        degraded_unavailable,
+    }
+}
+
+/// Run the full three-phase drill and collect the report.
+pub fn chaos_serve_experiment(config: &BenchConfig, clients: usize, seed: u64) -> ChaosServeReport {
+    obs::reset();
+    install_quiet_poison_hook();
+    let started = Instant::now();
+
+    // ---------------- phase 1: survivability storm ----------------
+    let mut trace_config = TraceConfig::scaled(config.scale);
+    trace_config.days = 1;
+    let mut generator = TraceGenerator::new(trace_config);
+    let layout = generator.layout().clone();
+    let snaps: Vec<Snapshot> = (&mut generator).take(STORM_EPOCHS).collect();
+    let mut fw = SpateFramework::in_memory(layout);
+    for s in &snaps {
+        fw.ingest(s);
+    }
+
+    // One worker serializes every job, which is what makes the counters
+    // exact: the post-storm health probe cannot answer before every
+    // earlier request (including the vanished client's) settled. The
+    // queue deadline is lifted far above any plausible backlog so the
+    // only sheds a run can see are real bugs.
+    let server = Arc::new(Server::start(
+        fw,
+        ServeConfig {
+            workers: 1,
+            prefetch: false,
+            queue_deadline: Duration::from_secs(60),
+            chaos_poison: true,
+            ..ServeConfig::default()
+        },
+    ));
+    for _ in 0..CALM_TICKS {
+        server.monitor_tick();
+    }
+
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let server = server.clone();
+        handles.push(std::thread::spawn(move || {
+            storm_client(&server, seed, c as u64)
+        }));
+    }
+
+    // Malformed frame: valid header magic/version, unknown kind byte.
+    // The server answers BAD_REQUEST (request id 0 — there is no frame
+    // to attribute it to) and drops the connection: past garbage the
+    // next frame boundary is unknowable.
+    let mut malformed = server.connect();
+    let mut bad = Vec::new();
+    bad.extend_from_slice(&MAGIC);
+    bad.push(VERSION);
+    bad.push(0xEE);
+    bad.extend_from_slice(&0u32.to_le_bytes());
+    let malformed_frames = u64::from(malformed.send_raw(&bad).is_ok());
+    let rejected = matches!(
+        malformed.await_reply(0),
+        Ok(Reply::ServerError { code, .. }) if code == errcode::BAD_REQUEST
+    );
+    let malformed_rejected = u64::from(rejected && malformed.stats().is_err());
+
+    // Mid-stream disconnect: admit a stalled request, vanish before the
+    // answer. The worker streams into the closed pipe and must shrug.
+    let vanisher = server.connect();
+    let mut vanisher = vanisher;
+    let disconnects = u64::from(
+        vanisher
+            .send(RequestBody::Explore {
+                attributes: vec!["upflux".into(), CHAOS_STALL_ATTRIBUTE.into()],
+                bbox: (f64::MIN, f64::MIN, f64::MAX, f64::MAX),
+                window: (0, 5),
+                deadline_ms: 0,
+            })
+            .is_ok(),
+    );
+    vanisher.close();
+
+    // Slow client: admit, nap past the stall, then drain. Exercises the
+    // reply sitting in transport backpressure until the reader wakes.
+    let mut slow = server.connect();
+    let slow_rows = match slow.send(RequestBody::Explore {
+        attributes: vec!["upflux".into(), "downflux".into()],
+        bbox: (f64::MIN, f64::MIN, f64::MAX, f64::MAX),
+        window: (0, 1),
+        deadline_ms: 0,
+    }) {
+        Ok(id) => {
+            std::thread::sleep(Duration::from_millis(10));
+            match slow.await_reply(id) {
+                Ok(Reply::Rows { total_rows, .. }) => total_rows,
+                _ => 0,
+            }
+        }
+        Err(_) => 0,
+    };
+    slow.close();
+
+    let mut storm = StormOutcome::default();
+    for h in handles {
+        storm.merge(h.join().expect("storm client panicked"));
+    }
+
+    // Health probe on a fresh connection: with a single worker this
+    // reply doubles as a settle fence for the whole storm.
+    let mut probe = server.connect();
+    let survived_storm = matches!(
+        probe.explore(&["upflux"], BoundingBox::everything(), (0, 2)),
+        Ok(Reply::Rows { .. })
+    );
+    probe.close();
+
+    // Storm tick (the survive stream flags the panic burst against its
+    // calm history), then one more calm tick to show it re-arms.
+    server.monitor_tick();
+    server.monitor_tick();
+    let meta = server.meta_summary();
+
+    let server = Arc::into_inner(server).expect("storm clients still hold server handles");
+    let stats = server.shutdown();
+
+    // ------------- phase 2: dfs-backed serving under chaos -------------
+    let mut trace_config = TraceConfig::scaled(config.scale);
+    trace_config.days = 1;
+    let mut generator = TraceGenerator::new(trace_config);
+    let layout = generator.layout().clone();
+    // Small blocks so leaf files span several blocks; replication 2 over
+    // 4 nodes keeps blocks findable with one node down but lets the
+    // chaos plan create real unavailability. Breakers on top.
+    let dfs_config = DfsConfig {
+        block_size: 4 * 1024,
+        replication: 2,
+        n_datanodes: 4,
+        io: IoModel::unthrottled(),
+        cache_bytes: 0,
+        ..DfsConfig::default()
+    }
+    .with_breaker(BreakerConfig::new(3, 64));
+    let fs = Dfs::with_faults(dfs_config, FaultConfig::chaos(seed));
+    let mut fw = SpateFramework::new(fs.clone(), layout);
+
+    let day = EPOCHS_PER_DAY as usize;
+    let mut dfs_epochs_ingested = 0usize;
+    let mut dfs_ingest_retries = 0u64;
+    let mut dfs_ingest_failures = 0u64;
+    for snapshot in (&mut generator).take(day) {
+        let mut attempts = 0u32;
+        loop {
+            match fw.try_ingest(&snapshot) {
+                Ok(_) => {
+                    dfs_epochs_ingested += 1;
+                    break;
+                }
+                Err(_) if attempts < 50 => {
+                    attempts += 1;
+                    dfs_ingest_retries += 1;
+                }
+                Err(_) => {
+                    dfs_ingest_failures += 1;
+                    break;
+                }
+            }
+        }
+    }
+    // Heal the ingest-time damage so serving-time degradation is the
+    // chaos plan's live work, not leftovers.
+    for node in 0..4 {
+        fs.revive_datanode(node);
+    }
+    fs.repair();
+    fs.repair();
+
+    let dfs_server = Server::start(
+        fw,
+        ServeConfig {
+            workers: 1,
+            prefetch: false,
+            queue_deadline: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+    );
+    let mut conn = dfs_server.connect();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0xD1F5));
+    let mut windows: Vec<(u32, u32)> = (0..12)
+        .map(|_| {
+            let start = rng.gen_range(0..day as u32 - 8);
+            let len = rng.gen_range(1..=6);
+            (start, start + len - 1)
+        })
+        .collect();
+    windows.extend((0..4).map(|_| {
+        let start = rng.gen_range(0..day as u32 - 30);
+        let len = rng.gen_range(16..=24);
+        (start, start + len - 1)
+    }));
+
+    let mut dfs_queries = 0u64;
+    let mut dfs_exact = 0u64;
+    let mut dfs_partial = 0u64;
+    let mut dfs_unavailable = 0u64;
+    let mut dfs_inconsistent_coverage = 0u64;
+    for &(a, b) in &windows {
+        dfs_queries += 1;
+        match conn.explore(&["upflux", "downflux"], BoundingBox::everything(), (a, b)) {
+            Ok(Reply::Rows { coverage: None, .. }) => dfs_exact += 1,
+            Ok(Reply::Rows {
+                coverage: Some(c), ..
+            }) => {
+                dfs_partial += 1;
+                if c.requested != b - a + 1 || c.served + c.decayed + c.unavailable != c.requested {
+                    dfs_inconsistent_coverage += 1;
+                }
+            }
+            Ok(Reply::Unavailable) => dfs_unavailable += 1,
+            Ok(_) | Err(_) => dfs_inconsistent_coverage += 1,
+        }
+    }
+    conn.close();
+    dfs_server.shutdown();
+    let faults = fs.fault_stats();
+    let dfs_breaker = fs.breaker_stats();
+
+    // ------------- phase 3: breaker state-machine drill -------------
+    let drill = breaker_drill();
+
+    ChaosServeReport {
+        seed,
+        clients,
+        requests_awaited: storm.awaited,
+        terminal_frames: storm.terminal,
+        healthy_queries: storm.healthy,
+        healthy_rows: storm.rows,
+        poison_queries: (clients * POISON_PER_CLIENT) as u64,
+        poison_isolated: storm.poison_ok,
+        deadline_storms: (clients * STORMS_PER_CLIENT) as u64,
+        deadline_partials: storm.storm_ok,
+        cancels_sent: (clients * CANCELS_PER_CLIENT) as u64,
+        cancel_partials: storm.cancel_ok,
+        malformed_frames,
+        malformed_rejected,
+        disconnects,
+        slow_rows,
+        sheds_seen: storm.sheds,
+        server_queries: stats.queries,
+        worker_panics: stats.panics,
+        worker_respawns: stats.worker_respawns,
+        cancelled_counted: stats.cancelled,
+        deadline_expired_counted: stats.deadline_expired,
+        protocol_errors: stats.protocol_errors,
+        survived_storm,
+        meta_ticks: meta.ticks,
+        survive_anomalies: meta.anomalies_deterministic,
+        dfs_epochs_ingested,
+        dfs_ingest_retries,
+        dfs_ingest_failures,
+        dfs_queries,
+        dfs_exact,
+        dfs_partial,
+        dfs_unavailable,
+        dfs_inconsistent_coverage,
+        dfs_checksum_mismatches: faults.checksum_mismatches,
+        dfs_read_failovers: faults.read_failovers,
+        dfs_breaker_trips: dfs_breaker.trips,
+        dfs_breaker_recoveries: dfs_breaker.recoveries,
+        dfs_breaker_skipped: dfs_breaker.skipped,
+        drill_trips: drill.trips,
+        drill_probes: drill.probes,
+        drill_recoveries: drill.recoveries,
+        drill_reopens: drill.reopens,
+        drill_skipped: drill.skipped,
+        drill_recovered_closed: drill.recovered_closed,
+        drill_degraded_unavailable: drill.degraded_unavailable,
+        anomalies_total: meta.anomalies_total,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}

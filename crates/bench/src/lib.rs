@@ -13,12 +13,15 @@
 //! | [`trace_experiment`] | `repro trace` — one request traced end-to-end, cold vs warm (no paper counterpart) |
 //! | [`cas_experiment`] | `repro cas` — content-addressed store vs. path store: dedup ratio, query equality, GC-leak gate (no paper counterpart) |
 //! | [`heat_experiment`] | `repro heat` — per-query cost accounting and heat-ledger bands under a skewed workload (no paper counterpart) |
+//! | [`chaos_serve_experiment`] | `repro chaos-serve` — adversarial serving-tier drill: poison queries, deadline storms, cancel races, malformed frames, disconnects, chaos-dfs backend with circuit breakers (no paper counterpart) |
 
+pub mod chaos_serve;
 pub mod experiments;
 pub mod heat_bench;
 pub mod serve_bench;
 pub mod setup;
 
+pub use chaos_serve::{chaos_serve_experiment, ChaosServeReport};
 pub use experiments::{
     cas_experiment, chaos_experiment, chaos_experiment_with, fig4_entropy, ingest_experiment,
     response_experiment, table1_codecs, CasPerf, CasReport, ChaosReport, CodecRow, EntropyReport,

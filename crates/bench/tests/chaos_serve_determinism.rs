@@ -1,0 +1,75 @@
+//! The chaos-serve drill's contract: every deterministic line is a pure
+//! function of `(seed, clients, scale)`, every adversarial request gets
+//! a terminal frame, every injected fault is visibly isolated, and the
+//! breaker drill completes its full state-machine walk.
+//!
+//! Own integration binary: the drill calls `obs::reset()` on the global
+//! registry, which would race other tests sharing the process.
+
+use spate_bench::{chaos_serve_experiment, BenchConfig};
+
+fn tiny() -> BenchConfig {
+    BenchConfig {
+        scale: 1.0 / 2048.0,
+        throttled: false,
+        ..BenchConfig::default()
+    }
+}
+
+#[test]
+fn chaos_serve_is_deterministic_and_every_fault_is_isolated() {
+    let config = tiny();
+    let a = chaos_serve_experiment(&config, 3, 11);
+    let b = chaos_serve_experiment(&config, 3, 11);
+
+    // Same seed → byte-identical deterministic report (the same lines CI
+    // diffs across two `repro chaos-serve` runs).
+    assert_eq!(
+        a.deterministic_lines(),
+        b.deterministic_lines(),
+        "same-seed drill runs diverged"
+    );
+
+    // Survivability: nobody hung, nobody died, the server answered after.
+    assert!(
+        a.all_terminal(),
+        "a storm request never got a terminal frame"
+    );
+    assert!(a.survived_storm, "post-storm health probe failed");
+    assert_eq!(a.sheds_seen, 0, "drill queue depth should never shed");
+
+    // Poison queries: all isolated into INTERNAL error frames, each one
+    // a counted worker panic, none killing the pool.
+    assert!(a.poison_queries > 0);
+    assert_eq!(a.poison_isolated, a.poison_queries);
+    assert_eq!(a.worker_panics, a.poison_queries);
+
+    // Deadline storms and cancel races: every one degraded to honest
+    // zero-served Partial coverage.
+    assert!(a.deadline_storms > 0);
+    assert_eq!(a.deadline_partials, a.deadline_storms);
+    assert!(a.cancels_sent > 0);
+    assert_eq!(a.cancel_partials, a.cancels_sent);
+
+    // Malformed frame: rejected with BAD_REQUEST and the connection cut.
+    assert_eq!(a.malformed_frames, 1);
+    assert_eq!(a.malformed_rejected, 1);
+    assert_eq!(a.protocol_errors, 1);
+    assert_eq!(a.disconnects, 1);
+
+    // Meta-highlights: the survive stream (deterministic kind) flagged
+    // the panic burst against its calm arming history.
+    assert!(a.survive_anomalies >= 1, "{}", a.survive_anomalies);
+
+    // Dfs-backed phase: chaos never lost an ingest, and every degraded
+    // answer kept its coverage arithmetic consistent.
+    assert_eq!(a.dfs_ingest_failures, 0);
+    assert!(a.dfs_queries > 0);
+    assert_eq!(a.dfs_inconsistent_coverage, 0);
+
+    // Breaker drill: trip → cool down → half-open probe → recovery, and
+    // an all-replicas-open read degraded to BlockUnavailable.
+    assert!(a.drill_trips >= 1);
+    assert!(a.drill_recovered_closed);
+    assert!(a.drill_degraded_unavailable);
+}

@@ -95,6 +95,15 @@ enum Sampler {
     Latency { prev: Vec<u64> },
     /// Windowed epoch-cache hit ratio.
     CacheHit { prev_hits: u64, prev_misses: u64 },
+    /// Worker panic isolations, poisoned-lock recoveries and worker
+    /// respawns — the serve tier absorbing damage that would otherwise
+    /// have been fatal.
+    Survive { prev: u64 },
+    /// Budget interruptions: client cancellations + expired end-to-end
+    /// deadlines.
+    Interrupt { prev: u64 },
+    /// Replica circuit-breaker trips and half-open reopens.
+    Breaker { prev: u64 },
 }
 
 struct Stream {
@@ -203,6 +212,40 @@ impl Stream {
                     }
                 }
             }
+            Sampler::Survive { prev } => {
+                let cur = reg.counter("serve.panics").get()
+                    + reg.counter("serve.worker.respawns").get()
+                    + reg.counter("serve.lock.poison_recovered").get();
+                let d = cur.saturating_sub(*prev);
+                *prev = cur;
+                if d == 0 {
+                    ("none".into(), 0)
+                } else {
+                    ("isolated".into(), 1)
+                }
+            }
+            Sampler::Interrupt { prev } => {
+                let cur = reg.counter("serve.cancelled").get()
+                    + reg.counter("serve.deadline.expired").get();
+                let d = cur.saturating_sub(*prev);
+                *prev = cur;
+                if d == 0 {
+                    ("none".into(), 0)
+                } else {
+                    ("some".into(), 1)
+                }
+            }
+            Sampler::Breaker { prev } => {
+                let cur = reg.counter("dfs.breaker.trips").get()
+                    + reg.counter("dfs.breaker.reopens").get();
+                let d = cur.saturating_sub(*prev);
+                *prev = cur;
+                if d == 0 {
+                    ("none".into(), 0)
+                } else {
+                    ("tripping".into(), 1)
+                }
+            }
         }
     }
 }
@@ -279,6 +322,32 @@ impl MetaMonitor {
                     prev_hits: 0,
                     prev_misses: 0,
                 },
+            },
+            // Survivability events are driven purely by the workload (a
+            // poison query always panics, a calm run never does), so the
+            // stream gates CI like the other deterministic ones.
+            Stream {
+                name: "serve.survive",
+                kind: StreamKind::Deterministic,
+                freq: FreqTable::default(),
+                sampler: Sampler::Survive { prev: 0 },
+            },
+            // Whether a Cancel frame or a deadline lands before the
+            // request finishes is a race against evaluation: timing.
+            Stream {
+                name: "serve.interrupt",
+                kind: StreamKind::Timing,
+                freq: FreqTable::default(),
+                sampler: Sampler::Interrupt { prev: 0 },
+            },
+            // Breaker trips follow the dfs fault plan's op clock; under
+            // concurrent workers the interleaving can shift which tick a
+            // trip lands on, never whether a calm run stays at "none".
+            Stream {
+                name: "dfs.breaker",
+                kind: StreamKind::Timing,
+                freq: FreqTable::default(),
+                sampler: Sampler::Breaker { prev: 0 },
             },
         ];
         let severities = streams.iter().map(|_| Default::default()).collect();

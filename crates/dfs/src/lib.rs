@@ -34,6 +34,7 @@
 //!   are rolled back, and [`Dfs::rename`] gives upper layers an atomic
 //!   commit step for crash-consistent ingest.
 
+pub mod breaker;
 pub mod cache;
 pub mod fault;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub mod node;
 pub mod repair;
 pub mod retry;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStatsSnapshot};
 pub use cache::PageCache;
 pub use fault::{FaultConfig, FaultPlan, FaultStatsSnapshot};
 pub use metrics::DfsMetrics;
@@ -187,6 +189,9 @@ pub struct DfsConfig {
     pub cache_bytes: usize,
     /// Retry budget wrapped around transient block-level faults.
     pub retry: RetryPolicy,
+    /// Per-datanode circuit breakers under the retry policy (disabled by
+    /// default — see [`breaker::BreakerConfig`]).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for DfsConfig {
@@ -198,6 +203,7 @@ impl Default for DfsConfig {
             io: IoModel::unthrottled(),
             cache_bytes: 0,
             retry: RetryPolicy::default(),
+            breaker: BreakerConfig::disabled(),
         }
     }
 }
@@ -221,6 +227,11 @@ impl DfsConfig {
 
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
         self
     }
 }
@@ -266,6 +277,7 @@ pub(crate) struct DfsInner {
     pub(crate) metrics: MetricsInner,
     cache: cache::PageCache,
     pub(crate) fault: FaultPlan,
+    pub(crate) breaker: breaker::Breaker,
 }
 
 impl Dfs {
@@ -292,6 +304,7 @@ impl Dfs {
                 metrics: MetricsInner::default(),
                 cache: cache::PageCache::new(config.cache_bytes),
                 fault: FaultPlan::new(faults),
+                breaker: breaker::Breaker::new(config.breaker, config.n_datanodes),
             }),
         }
     }
@@ -308,6 +321,16 @@ impl Dfs {
     /// Injected-fault and recovery counters for this cluster instance.
     pub fn fault_stats(&self) -> FaultStatsSnapshot {
         self.inner.fault.stats()
+    }
+
+    /// Circuit-breaker transition counters for this cluster instance.
+    pub fn breaker_stats(&self) -> BreakerStatsSnapshot {
+        self.inner.breaker.stats()
+    }
+
+    /// Observable breaker state of one datanode.
+    pub fn breaker_state(&self, dn: usize) -> BreakerState {
+        self.inner.breaker.state(dn)
     }
 
     /// Advance the fault plan's operation clock and apply any due
@@ -593,9 +616,14 @@ impl Dfs {
     }
 
     /// Fetch and checksum-verify one block, failing over across replicas
-    /// and retrying transient faults under the retry policy.
+    /// and retrying transient faults under the retry policy. Replicas on
+    /// datanodes whose circuit breaker is open are skipped; when open
+    /// breakers are the only reason nothing served the block, the block
+    /// is reported unavailable (degrading to partial coverage upstream)
+    /// rather than spending the retry budget on a node known to be sick.
     fn read_block(&self, path: &str, block_id: u64) -> Result<Vec<u8>, DfsError> {
         let inner = &self.inner;
+        inner.breaker.tick();
         let (replicas, crc) = {
             let ns = inner.namespace.read();
             match ns.blocks.get(&block_id) {
@@ -617,7 +645,11 @@ impl Dfs {
                     saw_corrupt = true; // known-bad copy from an earlier read
                     continue;
                 }
+                if !inner.breaker.admits(dn) {
+                    continue;
+                }
                 if inner.fault.transient_read(block_id, dn, attempt) {
+                    inner.breaker.record_failure(dn);
                     saw_transient = true;
                     continue;
                 }
@@ -625,9 +657,11 @@ impl Dfs {
                     spin_sleep(stall);
                 }
                 let Some(bytes) = inner.datanodes[dn].get_block(block_id) else {
+                    inner.breaker.record_failure(dn);
                     continue;
                 };
                 if crc32(&bytes) != crc {
+                    inner.breaker.record_failure(dn);
                     inner
                         .fault
                         .stats
@@ -672,11 +706,21 @@ impl Dfs {
                         .fetch_add(1, Ordering::Relaxed);
                     obs::inc("dfs.retry.successes");
                 }
+                inner.breaker.record_success(dn);
                 return Ok(bytes);
             }
             // No replica served the block this round. Retry only helps if
-            // at least one failure was transient.
-            if saw_transient && retry.allows(attempt + 1, start.elapsed()) {
+            // at least one failure was transient — and only while the
+            // request's cancellation/deadline budget (if any) still
+            // allows more work. An interrupted request skips the backoff
+            // sleep and fails fast instead, degrading to partial
+            // coverage upstream.
+            let mut wants_retry = saw_transient && retry.allows(attempt + 1, start.elapsed());
+            if wants_retry && obs::budget::interrupted().is_some() {
+                obs::inc("dfs.budget.interrupts");
+                wants_retry = false;
+            }
+            if wants_retry {
                 inner
                     .fault
                     .stats

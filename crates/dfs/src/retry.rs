@@ -12,7 +12,10 @@ use std::time::Duration;
 /// Backoff for attempt `n` (0-based) is `base_backoff_us << n`, capped at
 /// `max_backoff_us`. The whole operation additionally respects a total
 /// `deadline_us` budget: once it is exceeded no further attempts are made
-/// even if `max_attempts` is not yet reached.
+/// even if `max_attempts` is not yet reached. `deadline_us == 0` means
+/// **no time budget** — only `max_attempts` bounds the operation (so
+/// [`RetryPolicy::none`] is fail-fast through its single attempt, not
+/// through a degenerate 0 µs deadline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum attempts per block operation (1 = no retries).
@@ -21,7 +24,8 @@ pub struct RetryPolicy {
     pub base_backoff_us: u64,
     /// Backoff cap, microseconds.
     pub max_backoff_us: u64,
-    /// Total per-operation retry budget, microseconds.
+    /// Total per-operation retry budget, microseconds (`0` = unbounded:
+    /// attempts alone limit the operation).
     pub deadline_us: u64,
 }
 
@@ -59,8 +63,12 @@ impl RetryPolicy {
     }
 
     /// Is another attempt allowed after `attempt` attempts took `elapsed`?
+    /// A zero `deadline_us` imposes no time bound (see the type docs).
     pub fn allows(&self, next_attempt: u32, elapsed: Duration) -> bool {
-        next_attempt < self.max_attempts && elapsed < Duration::from_micros(self.deadline_us.max(1))
+        if next_attempt >= self.max_attempts {
+            return false;
+        }
+        self.deadline_us == 0 || elapsed < Duration::from_micros(self.deadline_us)
     }
 }
 
@@ -107,5 +115,26 @@ mod tests {
         let p = RetryPolicy::none();
         assert!(!p.allows(1, Duration::ZERO));
         assert_eq!(p.backoff(0), Duration::ZERO);
+    }
+
+    /// Regression: `deadline_us = 0` used to be clamped to a 1 µs budget,
+    /// silently denying retries a caller's `max_attempts` still allowed.
+    /// Zero now means "no time budget".
+    #[test]
+    fn zero_deadline_means_unbounded_time_not_one_microsecond() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+            deadline_us: 0,
+        };
+        // Well past the old accidental 1 µs budget: still allowed.
+        assert!(p.allows(1, Duration::from_secs(3600)));
+        assert!(p.allows(3, Duration::from_micros(2)));
+        // Attempts remain the only bound.
+        assert!(!p.allows(4, Duration::ZERO));
+        // The single attempt of `none()` is spent before any retry, so
+        // the unbounded deadline never grants one.
+        assert!(!RetryPolicy::none().allows(1, Duration::from_nanos(1)));
     }
 }

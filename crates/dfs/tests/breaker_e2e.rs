@@ -1,0 +1,137 @@
+//! End-to-end circuit-breaker behaviour through the public `Dfs` API:
+//! trip on consecutive verified-read failures, steer reads around the
+//! open node, degrade to an unavailability error (never a hang) when
+//! every replica is open, and recover half-open → closed after repair.
+//!
+//! Replica placement is deterministic (`live[(block_id + r) % live]`),
+//! so with 3 datanodes the first replica of block `b` sits on node
+//! `b % 3` — the tests below lean on that to aim failures at one node.
+
+use dfs::{BreakerConfig, BreakerState, Dfs, DfsConfig, DfsError};
+
+/// 3 replicas over exactly 3 nodes, so block `b`'s first replica sits
+/// on node `b % 3` and every node holds a copy of every block.
+fn small_blocks() -> DfsConfig {
+    DfsConfig {
+        replication: 3,
+        n_datanodes: 3,
+        ..DfsConfig::default()
+    }
+    .with_block_size(64)
+}
+
+/// One-block payload (under the 64-byte test block size).
+fn payload(tag: u8) -> Vec<u8> {
+    vec![tag; 48]
+}
+
+#[test]
+fn consecutive_corrupt_reads_trip_the_breaker_and_failover_still_serves() {
+    let fs = Dfs::new(small_blocks().with_breaker(BreakerConfig::new(2, 100)));
+    // Blocks 1..=4; blocks 1 and 4 both place their first replica on
+    // node 1 (1 % 3 == 4 % 3 with 3 live nodes).
+    for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        fs.write(name, &payload(i as u8)).unwrap();
+    }
+    assert!(fs.corrupt_replica_for_test("a", 1));
+    assert!(fs.corrupt_replica_for_test("d", 1));
+
+    // Both reads hit node 1 first, detect the damage, fail over to a
+    // healthy replica — the answers stay correct throughout.
+    assert_eq!(fs.read("a").unwrap(), payload(0));
+    assert_eq!(fs.breaker_state(1), BreakerState::Closed, "one strike");
+    assert_eq!(fs.read("d").unwrap(), payload(3));
+    assert_eq!(fs.breaker_state(1), BreakerState::Open, "second strike");
+    let s = fs.breaker_stats();
+    assert_eq!(s.trips, 1);
+    assert_eq!(fs.fault_stats().checksum_mismatches, 2);
+
+    // While open, node 1 is skipped wherever it would be consulted.
+    fs.drop_caches();
+    assert_eq!(fs.read("a").unwrap(), payload(0));
+    assert_eq!(fs.read("b").unwrap(), payload(1));
+    assert_eq!(fs.breaker_state(1), BreakerState::Open);
+}
+
+#[test]
+fn breaker_recovers_half_open_to_closed_after_repair() {
+    let fs = Dfs::new(small_blocks().with_breaker(BreakerConfig::new(2, 3)));
+    for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        fs.write(name, &payload(i as u8)).unwrap();
+    }
+    fs.corrupt_replica_for_test("a", 1);
+    fs.corrupt_replica_for_test("d", 1);
+    fs.read("a").unwrap();
+    fs.read("d").unwrap();
+    assert_eq!(fs.breaker_state(1), BreakerState::Open);
+
+    // Repair drops the corrupt copies and re-replicates good ones.
+    let report = fs.repair();
+    assert!(report.corrupt_replicas_dropped >= 2);
+
+    // The cooldown is measured in read operations: burn it down with
+    // reads that never consult node 1 first.
+    fs.drop_caches();
+    for _ in 0..3 {
+        assert_eq!(fs.read("b").unwrap(), payload(1));
+        fs.drop_caches();
+    }
+    assert_eq!(fs.breaker_state(1), BreakerState::HalfOpen);
+
+    // Repair re-appended node 1's fresh copy at the end of the replica
+    // list, so force the next read to consult it: with the other nodes
+    // down, the read probes node 1, the repaired replica verifies, and
+    // the breaker closes.
+    fs.kill_datanode(0);
+    fs.kill_datanode(2);
+    assert_eq!(fs.read("a").unwrap(), payload(0));
+    assert_eq!(fs.breaker_state(1), BreakerState::Closed);
+    fs.revive_datanode(0);
+    fs.revive_datanode(2);
+    let s = fs.breaker_stats();
+    assert_eq!(s.probes, 1);
+    assert_eq!(s.recoveries, 1);
+    assert_eq!(s.reopens, 0);
+}
+
+#[test]
+fn all_replicas_open_degrades_to_unavailable_not_an_error_loop() {
+    // Single replica on a single node: one corrupt read trips the
+    // breaker (K = 1) and the node is the block's only home.
+    let config = DfsConfig {
+        replication: 1,
+        n_datanodes: 1,
+        ..small_blocks()
+    }
+    .with_breaker(BreakerConfig::new(1, 1_000));
+    let fs = Dfs::new(config);
+    fs.write("a", &payload(0)).unwrap();
+    fs.write("b", &payload(1)).unwrap();
+    fs.corrupt_replica_for_test("a", 0);
+    assert!(matches!(fs.read("a"), Err(DfsError::BlockCorrupt { .. })));
+    assert_eq!(fs.breaker_state(0), BreakerState::Open);
+
+    // "b" is healthy, but its only replica sits behind the open breaker:
+    // the read reports the block unavailable instead of spinning on the
+    // sick node. Upstream, that degrades to partial coverage.
+    let err = fs.read("b");
+    assert!(
+        matches!(err, Err(DfsError::BlockUnavailable { .. })),
+        "{err:?}"
+    );
+    assert!(fs.breaker_stats().skipped >= 1);
+}
+
+#[test]
+fn disabled_breaker_preserves_the_legacy_read_path() {
+    let fs = Dfs::new(small_blocks());
+    for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        fs.write(name, &payload(i as u8)).unwrap();
+    }
+    fs.corrupt_replica_for_test("a", 1);
+    fs.corrupt_replica_for_test("d", 1);
+    fs.read("a").unwrap();
+    fs.read("d").unwrap();
+    assert_eq!(fs.breaker_state(1), BreakerState::Closed);
+    assert_eq!(fs.breaker_stats().trips, 0);
+}

@@ -28,6 +28,7 @@
 //! assert!(table.contains("spate.ingest"));
 //! ```
 
+pub mod budget;
 pub mod cost;
 pub mod export;
 pub mod flight;
@@ -36,6 +37,7 @@ pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use budget::{CancelFlag, Interrupt};
 pub use cost::CostProfile;
 pub use flight::{EventKind, FlightRecorder, SpanEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};

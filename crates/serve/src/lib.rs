@@ -70,7 +70,10 @@ pub use proto::{
     AnomalyWire, ProfileFrame, ProtoError, Request, RequestBody, Response, ResponseBody, SpanWire,
     StatsFrame, TableHeader, TraceFrame,
 };
-pub use server::{trace_id_for, ClientConn, Reply, ServeConfig, ServeStats, Server};
+pub use server::{
+    trace_id_for, ClientConn, Reply, ServeConfig, ServeStats, Server, CHAOS_PANIC_ATTRIBUTE,
+    CHAOS_STALL_ATTRIBUTE,
+};
 pub use transport::{duplex, Endpoint, TransportError};
 
 // Re-exported so the doc examples and downstream users see the hook the

@@ -48,6 +48,8 @@ pub mod kind {
     /// Introspection: one request's cost profile (EXPLAIN ANALYZE over
     /// the wire).
     pub const PROFILE: u8 = 0x05;
+    /// Control: cooperatively cancel an in-flight request by id.
+    pub const CANCEL: u8 = 0x06;
 
     pub const HEADER: u8 = 0x81;
     pub const ROW_CHUNK: u8 = 0x82;
@@ -113,9 +115,18 @@ pub enum RequestBody {
         bbox: (f64, f64, f64, f64),
         /// Inclusive epoch window.
         window: (u32, u32),
+        /// End-to-end deadline in milliseconds, measured from admission;
+        /// `0` = no deadline. On expiry the answer degrades to `Partial`
+        /// with un-scanned epochs reported as unavailable.
+        deadline_ms: u64,
     },
     /// A SPATE-SQL statement scoped to an epoch window.
-    Sql { window: (u32, u32), sql: String },
+    Sql {
+        window: (u32, u32),
+        sql: String,
+        /// End-to-end deadline in milliseconds (`0` = no deadline).
+        deadline_ms: u64,
+    },
     /// Introspection: ask for the server's live stats snapshot. Answered
     /// on the reader thread (never queued), so it works mid-shed-storm.
     Stats,
@@ -125,6 +136,13 @@ pub enum RequestBody {
     /// Introspection: ask for the cost profile of a served request;
     /// `trace_id == 0` means "the most recently profiled request".
     Profile { trace_id: u64 },
+    /// Control: cooperatively cancel the in-flight request whose
+    /// client-chosen id is `target`. Answered on the reader thread and
+    /// fire-and-forget: no reply frame of its own — the cancelled
+    /// request still terminates normally with `Partial` coverage (or
+    /// whatever frame it was about to send). Cancelling an unknown or
+    /// already-finished id is a harmless no-op.
+    Cancel { target: u64 },
 }
 
 impl RequestBody {
@@ -133,7 +151,22 @@ impl RequestBody {
     pub fn window(&self) -> Option<(u32, u32)> {
         match self {
             RequestBody::Explore { window, .. } | RequestBody::Sql { window, .. } => Some(*window),
-            RequestBody::Stats | RequestBody::Trace { .. } | RequestBody::Profile { .. } => None,
+            RequestBody::Stats
+            | RequestBody::Trace { .. }
+            | RequestBody::Profile { .. }
+            | RequestBody::Cancel { .. } => None,
+        }
+    }
+
+    /// End-to-end deadline carried by data-plane request forms (`None`
+    /// for introspection/control frames, `Some(0)` = explicitly no
+    /// deadline).
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self {
+            RequestBody::Explore { deadline_ms, .. } | RequestBody::Sql { deadline_ms, .. } => {
+                Some(*deadline_ms)
+            }
+            _ => None,
         }
     }
 
@@ -146,7 +179,10 @@ impl RequestBody {
     pub fn is_control(&self) -> bool {
         matches!(
             self,
-            RequestBody::Stats | RequestBody::Trace { .. } | RequestBody::Profile { .. }
+            RequestBody::Stats
+                | RequestBody::Trace { .. }
+                | RequestBody::Profile { .. }
+                | RequestBody::Cancel { .. }
         )
     }
 }
@@ -390,6 +426,7 @@ impl Request {
                 attributes,
                 bbox,
                 window,
+                deadline_ms,
             } => {
                 w.u16(attributes.len() as u16);
                 for a in attributes {
@@ -401,12 +438,18 @@ impl Request {
                 w.f64(bbox.3);
                 w.u32(window.0);
                 w.u32(window.1);
+                w.u64(*deadline_ms);
                 kind::EXPLORE
             }
-            RequestBody::Sql { window, sql } => {
+            RequestBody::Sql {
+                window,
+                sql,
+                deadline_ms,
+            } => {
                 w.u32(window.0);
                 w.u32(window.1);
                 w.str(sql);
+                w.u64(*deadline_ms);
                 kind::SQL
             }
             RequestBody::Stats => kind::STATS,
@@ -417,6 +460,10 @@ impl Request {
             RequestBody::Profile { trace_id } => {
                 w.u64(*trace_id);
                 kind::PROFILE
+            }
+            RequestBody::Cancel { target } => {
+                w.u64(*target);
+                kind::CANCEL
             }
         };
         frame(kind, &w.buf)
@@ -435,20 +482,28 @@ impl Request {
                 }
                 let bbox = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
                 let window = (r.u32()?, r.u32()?);
+                let deadline_ms = r.u64()?;
                 RequestBody::Explore {
                     attributes,
                     bbox,
                     window,
+                    deadline_ms,
                 }
             }
             kind::SQL => {
                 let window = (r.u32()?, r.u32()?);
                 let sql = r.str()?;
-                RequestBody::Sql { window, sql }
+                let deadline_ms = r.u64()?;
+                RequestBody::Sql {
+                    window,
+                    sql,
+                    deadline_ms,
+                }
             }
             kind::STATS => RequestBody::Stats,
             kind::TRACE => RequestBody::Trace { trace_id: r.u64()? },
             kind::PROFILE => RequestBody::Profile { trace_id: r.u64()? },
+            kind::CANCEL => RequestBody::Cancel { target: r.u64()? },
             other => return Err(ProtoError::BadKind(other)),
         };
         r.finish()?;
@@ -757,7 +812,7 @@ impl FrameHeader {
             return Err(ProtoError::BadVersion(bytes[2]));
         }
         let kind = bytes[3];
-        if !matches!(kind, 0x01..=0x05 | 0x81..=0x8B) {
+        if !matches!(kind, 0x01..=0x06 | 0x81..=0x8B) {
             return Err(ProtoError::BadKind(kind));
         }
         let payload_len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
@@ -880,6 +935,7 @@ mod tests {
                 attributes: vec!["upflux".into(), "downflux".into()],
                 bbox: (0.0, -1.5, 38_000.0, f64::MAX),
                 window: (3, 9),
+                deadline_ms: 0,
             },
         });
         roundtrip_request(Request {
@@ -887,8 +943,60 @@ mod tests {
             body: RequestBody::Sql {
                 window: (0, 47),
                 sql: "SELECT cell_id, SUM(call_drops) FROM NMS GROUP BY cell_id".into(),
+                deadline_ms: 0,
             },
         });
+    }
+
+    #[test]
+    fn deadlines_ride_the_data_plane_frames() {
+        let explore = RequestBody::Explore {
+            attributes: vec!["upflux".into()],
+            bbox: (0.0, 0.0, 1.0, 1.0),
+            window: (0, 3),
+            deadline_ms: 250,
+        };
+        assert_eq!(explore.deadline_ms(), Some(250));
+        assert!(!explore.is_control());
+        roundtrip_request(Request {
+            id: 20,
+            body: explore,
+        });
+        let sql = RequestBody::Sql {
+            window: (1, 2),
+            sql: "SELECT 1".into(),
+            deadline_ms: u64::MAX,
+        };
+        assert_eq!(sql.deadline_ms(), Some(u64::MAX));
+        roundtrip_request(Request { id: 21, body: sql });
+        assert_eq!(RequestBody::Stats.deadline_ms(), None);
+    }
+
+    #[test]
+    fn cancel_frames_round_trip_and_are_control_plane() {
+        let cancel = RequestBody::Cancel { target: 42 };
+        assert!(cancel.is_control());
+        assert_eq!(cancel.window(), None);
+        assert_eq!(cancel.window_len(), 0);
+        assert_eq!(cancel.deadline_ms(), None);
+        roundtrip_request(Request {
+            id: 30,
+            body: cancel,
+        });
+        // The 0x06 kind byte passes header validation.
+        let bytes = Request {
+            id: 30,
+            body: RequestBody::Cancel { target: 42 },
+        }
+        .encode();
+        assert_eq!(bytes[3], kind::CANCEL);
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&bytes[..HEADER_LEN]);
+        assert!(FrameHeader::parse(&header).is_ok());
+        // 0x07 is still rejected: the widened range stops at Cancel.
+        let mut bad = bytes;
+        bad[3] = 0x07;
+        assert!(matches!(parse_frame(&bad), Err(ProtoError::BadKind(0x07))));
     }
 
     #[test]
@@ -1088,6 +1196,7 @@ mod tests {
             body: RequestBody::Sql {
                 window: (0, 0),
                 sql: "SELECT 1".into(),
+                deadline_ms: 0,
             },
         }
         .encode();
@@ -1122,6 +1231,7 @@ mod tests {
             body: RequestBody::Sql {
                 window: (0, 0),
                 sql: String::new(),
+                deadline_ms: 0,
             },
         }
         .encode();

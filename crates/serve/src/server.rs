@@ -35,7 +35,7 @@ use crate::proto::{
 };
 use crate::transport::{duplex, Endpoint, TransportError};
 use obs::CostProfile;
-use obs::{EventKind, Histogram};
+use obs::{CancelFlag, EventKind, Histogram, Interrupt};
 use spate_core::framework::{ExplorationFramework, IngestStats, SpaceReport};
 use spate_core::index::Covering;
 use spate_core::query::{project_snapshot_refs, Coverage, ExactResult, Query, QueryResult};
@@ -43,8 +43,11 @@ use spate_core::{
     AnomalyRecord, DecayReport, MetaConfig, MetaMonitor, MetaSummary, SpateFramework,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use telco_trace::cells::{BoundingBox, CellLayout};
@@ -83,7 +86,26 @@ pub struct ServeConfig {
     /// (bounded FIFO; older requests become unanswerable, like traces
     /// overwritten in the flight-recorder ring).
     pub profile_history: usize,
+    /// Chaos drills only: honor the reserved [`CHAOS_PANIC_ATTRIBUTE`]
+    /// and [`CHAOS_STALL_ATTRIBUTE`] explore attributes (panic inside
+    /// evaluation; stall before the first budget checkpoint), exercising
+    /// panic isolation and deadline expiry deterministically. Off by
+    /// default — production configurations never trip either.
+    pub chaos_poison: bool,
 }
+
+/// Reserved explore attribute that, under [`ServeConfig::chaos_poison`],
+/// makes the worker panic mid-evaluation (poison-query injection).
+pub const CHAOS_PANIC_ATTRIBUTE: &str = "__chaos_panic";
+
+/// Reserved explore attribute that, under [`ServeConfig::chaos_poison`],
+/// stalls the worker for [`CHAOS_STALL`] before evaluation — long enough
+/// that a small nonzero deadline is *certainly* spent by the first
+/// checkpoint, making deadline-storm drills deterministic.
+pub const CHAOS_STALL_ATTRIBUTE: &str = "__chaos_stall";
+
+/// How long [`CHAOS_STALL_ATTRIBUTE`] stalls evaluation.
+pub const CHAOS_STALL: Duration = Duration::from_millis(5);
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -100,8 +122,37 @@ impl Default for ServeConfig {
             meta: MetaConfig::default(),
             monitor_interval: None,
             profile_history: 64,
+            chaos_poison: false,
         }
     }
+}
+
+/// Poison-tolerant `Mutex` lock: a worker that panicked while holding a
+/// server lock must never take the whole server down with it. Every
+/// shared structure here is updated in single small steps (insert/remove
+/// a key, push a profile, bump a counter), so the state under a poisoned
+/// lock is still coherent — recover it and count the event.
+fn lock_sane<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| {
+        obs::inc("serve.lock.poison_recovered");
+        e.into_inner()
+    })
+}
+
+/// Poison-tolerant `RwLock` read (framework read path).
+fn read_sane<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| {
+        obs::inc("serve.lock.poison_recovered");
+        e.into_inner()
+    })
+}
+
+/// Poison-tolerant `RwLock` write (operator mutations).
+fn write_sane<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| {
+        obs::inc("serve.lock.poison_recovered");
+        e.into_inner()
+    })
 }
 
 /// Counter snapshot of server behaviour.
@@ -117,6 +168,14 @@ pub struct ServeStats {
     pub shed_deadline: u64,
     /// Malformed frames received from clients.
     pub protocol_errors: u64,
+    /// Requests interrupted by a client `Cancel` frame.
+    pub cancelled: u64,
+    /// Requests whose end-to-end deadline expired mid-evaluation.
+    pub deadline_expired: u64,
+    /// Worker panics isolated into `Error` terminal frames.
+    pub panics: u64,
+    /// Worker loops restarted after a panic escaped request isolation.
+    pub worker_respawns: u64,
 }
 
 #[derive(Default)]
@@ -126,6 +185,10 @@ struct StatsCells {
     shed_overflow: AtomicU64,
     shed_deadline: AtomicU64,
     protocol_errors: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_expired: AtomicU64,
+    panics: AtomicU64,
+    worker_respawns: AtomicU64,
 }
 
 /// Bounded FIFO of the most recently finished per-request cost
@@ -179,6 +242,9 @@ struct Job {
     queued_at: Instant,
     /// End-to-end trace id minted at admission: `(conn << 32) | request_id`.
     trace_id: u64,
+    /// Flipped by a later `Cancel` frame on the same connection; the
+    /// worker observes it at every evaluation checkpoint.
+    cancel: CancelFlag,
 }
 
 /// The trace id a request's spans are filed under — stable across the
@@ -209,9 +275,65 @@ struct Shared {
     /// request's terminal frame, the request's closed spans and recorded
     /// profile are guaranteed visible — the span guard drops and the
     /// profile lands between the terminal send and the removal.
-    inflight: Mutex<HashSet<u64>>,
+    inflight: Inflight,
+    /// Cancellation flags of admitted-but-unfinished requests, keyed by
+    /// trace id. The reader thread flips a flag on `Cancel`; entries are
+    /// dropped when the request settles (terminal frame sent) or sheds.
+    cancels: Mutex<HashMap<u64, CancelFlag>>,
     /// Set on shutdown to stop the optional monitor thread.
     stop: AtomicBool,
+}
+
+/// The in-flight trace-id set plus a condvar notified on every removal,
+/// so [`await_settled`] parks instead of spinning.
+#[derive(Default)]
+struct Inflight {
+    set: Mutex<HashSet<u64>>,
+    settled: Condvar,
+}
+
+impl Inflight {
+    /// Block (bounded) until `trace_id` is no longer in flight.
+    fn await_settled(&self, trace_id: u64, bound: Duration) {
+        let deadline = Instant::now() + bound;
+        let mut set = lock_sane(&self.set);
+        while set.contains(&trace_id) {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            set = self
+                .settled
+                .wait_timeout(set, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// RAII registration of a request being served: inserted before any
+/// answer frame leaves, removed (with a condvar wake for settle-fences)
+/// when the worker is done with the request — **including** when the
+/// evaluation panics, so a poison query can never leave a stuck
+/// in-flight mark or a leaked cancellation flag behind.
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+    trace_id: u64,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn new(shared: &'a Shared, trace_id: u64) -> Self {
+        lock_sane(&shared.inflight.set).insert(trace_id);
+        Self { shared, trace_id }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        lock_sane(&self.shared.cancels).remove(&self.trace_id);
+        lock_sane(&self.shared.inflight.set).remove(&self.trace_id);
+        self.shared.inflight.settled.notify_all();
+    }
 }
 
 /// The serving tier: worker pool + admission queue + shared cache around
@@ -256,14 +378,28 @@ impl Server {
             lat_scan: obs::histogram_labeled("serve.latency_us", &[("class", "scan")]),
             monitor: Mutex::new(MetaMonitor::new(config.meta)),
             profiles: Mutex::new(ProfileStore::new(config.profile_history)),
-            inflight: Mutex::new(HashSet::new()),
+            inflight: Inflight::default(),
+            cancels: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
             config: config.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(&shared))
+                // Self-healing worker: request evaluation is individually
+                // panic-isolated inside `serve_one`, and anything that
+                // still escapes (pool plumbing itself) lands here, where
+                // the loop restarts instead of silently shrinking the
+                // pool one panic at a time.
+                std::thread::spawn(move || loop {
+                    match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                        Ok(()) => break, // queue closed: clean shutdown
+                        Err(_) => {
+                            shared.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                            obs::inc("serve.worker.respawns");
+                        }
+                    }
+                })
             })
             .collect();
         let monitor_thread = config.monitor_interval.map(|interval| {
@@ -284,10 +420,10 @@ impl Server {
     pub fn connect(&self) -> ClientConn {
         let (client_ep, server_ep) = duplex();
         let conn = NEXT_CONN.fetch_add(1, Ordering::Relaxed) + 1;
-        self.conn_endpoints.lock().unwrap().push(server_ep.clone());
+        lock_sane(&self.conn_endpoints).push(server_ep.clone());
         let shared = self.shared.clone();
         let reader = std::thread::spawn(move || reader_loop(&shared, conn, server_ep));
-        self.readers.lock().unwrap().push(reader);
+        lock_sane(&self.readers).push(reader);
         ClientConn {
             ep: client_ep,
             conn_id: conn,
@@ -298,20 +434,20 @@ impl Server {
     /// Operator-side ingest: exclusive access; the cache invalidation
     /// hooks fire inside.
     pub fn ingest(&self, snapshot: &Snapshot) -> IngestStats {
-        let mut fw = self.shared.fw.write().unwrap();
+        let mut fw = write_sane(&self.shared.fw);
         fw.ingest(snapshot)
     }
 
     /// Operator-side decay pass at a given "now"; evicted epochs drop
     /// out of the shared cache before any reader can run again.
     pub fn run_decay(&self, now: EpochId) -> DecayReport {
-        let mut fw = self.shared.fw.write().unwrap();
+        let mut fw = write_sane(&self.shared.fw);
         fw.run_decay(now)
     }
 
     /// Current staleness version of the owned framework.
     pub fn version(&self) -> u64 {
-        self.shared.fw.read().unwrap().version()
+        read_sane(&self.shared.fw).version()
     }
 
     pub fn cache_stats(&self) -> CacheStats {
@@ -326,6 +462,10 @@ impl Server {
             shed_overflow: s.shed_overflow.load(Ordering::Relaxed),
             shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
             protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            deadline_expired: s.deadline_expired.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+            worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
         }
     }
 
@@ -338,23 +478,23 @@ impl Server {
     /// Deterministic harnesses call this at barrier points instead of
     /// configuring [`ServeConfig::monitor_interval`].
     pub fn monitor_tick(&self) -> Vec<AnomalyRecord> {
-        self.shared.monitor.lock().unwrap().tick(obs::global())
+        lock_sane(&self.shared.monitor).tick(obs::global())
     }
 
     /// Monitor counters so far (ticks, anomalies, deterministic subset).
     pub fn meta_summary(&self) -> MetaSummary {
-        self.shared.monitor.lock().unwrap().summary()
+        lock_sane(&self.shared.monitor).summary()
     }
 
     /// Recent anomaly records, oldest first (bounded history).
     pub fn anomalies(&self) -> Vec<AnomalyRecord> {
-        self.shared.monitor.lock().unwrap().recent()
+        lock_sane(&self.shared.monitor).recent()
     }
 
     /// Heat report of the owned framework's temporal index: hot/warm/cold
     /// epoch bands accumulated from every served query and cache touch.
     pub fn heat_report(&self) -> spate_core::HeatReport {
-        self.shared.fw.read().unwrap().index().heat().report()
+        read_sane(&self.shared.fw).index().heat().report()
     }
 
     /// The finished [`CostProfile`] of a served request, if still
@@ -363,7 +503,7 @@ impl Server {
         if trace_id != 0 {
             await_settled(&self.shared, trace_id);
         }
-        let store = self.shared.profiles.lock().unwrap();
+        let store = lock_sane(&self.shared.profiles);
         let resolved = if trace_id == 0 {
             store.latest
         } else {
@@ -377,16 +517,16 @@ impl Server {
     pub fn shutdown(self) -> ServeStats {
         self.shared.stop.store(true, Ordering::Relaxed);
         self.shared.queue.close();
-        for w in self.workers.lock().unwrap().drain(..) {
+        for w in lock_sane(&self.workers).drain(..) {
             let _ = w.join();
         }
-        if let Some(m) = self.monitor_thread.lock().unwrap().take() {
+        if let Some(m) = lock_sane(&self.monitor_thread).take() {
             let _ = m.join();
         }
-        for ep in self.conn_endpoints.lock().unwrap().drain(..) {
+        for ep in lock_sane(&self.conn_endpoints).drain(..) {
             ep.close_both();
         }
-        for r in self.readers.lock().unwrap().drain(..) {
+        for r in lock_sane(&self.readers).drain(..) {
             let _ = r.join();
         }
         self.stats()
@@ -406,7 +546,7 @@ fn monitor_loop(shared: &Shared, interval: Duration) {
         if shared.stop.load(Ordering::Relaxed) {
             break;
         }
-        shared.monitor.lock().unwrap().tick(obs::global());
+        lock_sane(&shared.monitor).tick(obs::global());
     }
 }
 
@@ -424,6 +564,21 @@ fn reader_loop(shared: &Shared, conn: u64, ep: Endpoint) {
     loop {
         match ep.recv_request() {
             Ok(Some(request)) => {
+                // Cancellation is fire-and-forget: flip the target's flag
+                // if it is still pending on this connection and move on —
+                // no reply frame, and the cancelled request itself still
+                // terminates normally (typically with a Partial answer).
+                if let RequestBody::Cancel { target } = &request.body {
+                    let target_trace = trace_id_for(conn, *target);
+                    match lock_sane(&shared.cancels).get(&target_trace) {
+                        Some(flag) => {
+                            flag.cancel();
+                            obs::inc("serve.cancel.delivered");
+                        }
+                        None => obs::inc("serve.cancel.unknown"),
+                    }
+                    continue;
+                }
                 // Control-plane frames are answered right here on the
                 // reader thread: they never queue, so introspection works
                 // even while the admission queue is shedding.
@@ -442,14 +597,20 @@ fn reader_loop(shared: &Shared, conn: u64, ep: Endpoint) {
                         ("queue_depth", &shared.queue.depth().to_string()),
                     ],
                 );
+                // Register the cancellation flag before the job can be
+                // popped, so a Cancel racing the worker still lands.
+                let cancel = CancelFlag::new();
+                lock_sane(&shared.cancels).insert(trace_id, cancel.clone());
                 let job = Job {
                     conn,
                     endpoint: ep.clone(),
                     request,
                     queued_at: Instant::now(),
                     trace_id,
+                    cancel,
                 };
                 if let Err(shed) = shared.queue.push(conn, class, job) {
+                    lock_sane(&shared.cancels).remove(&trace_id);
                     shared.stats.shed_overflow.fetch_add(1, Ordering::Relaxed);
                     obs::trace::instant_for(
                         trace_id,
@@ -491,6 +652,7 @@ fn reader_loop(shared: &Shared, conn: u64, ep: Endpoint) {
 fn worker_loop(shared: &Shared) {
     while let Some((_client, class, job)) = shared.queue.pop() {
         if job.queued_at.elapsed() > shared.config.queue_deadline {
+            lock_sane(&shared.cancels).remove(&job.trace_id);
             shared.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
             obs::inc("serve.shed.deadline");
             obs::trace::instant_for(job.trace_id, "admission.shed_deadline", &[]);
@@ -509,11 +671,11 @@ fn worker_loop(shared: &Shared) {
 fn serve_one(shared: &Shared, class: Class, job: Job) {
     // Mark the request in flight before any frame leaves. The terminal
     // frame is sent inside dispatch, *before* the span guard drops and
-    // the profile is recorded; removal below happens after both, so the
-    // reader thread's `Trace`/`Profile` fence (`await_settled`) gives
-    // clients a real guarantee instead of a race.
+    // the profile is recorded; the guard's removal happens after both,
+    // so the reader thread's `Trace`/`Profile` fence (`await_settled`)
+    // gives clients a real guarantee instead of a race.
     let trace_id = job.trace_id;
-    shared.inflight.lock().unwrap().insert(trace_id);
+    let _inflight = InflightGuard::new(shared, trace_id);
     let t0 = Instant::now();
     {
         // Install the trace context minted at admission: every span/event
@@ -538,57 +700,103 @@ fn serve_one(shared: &Shared, class: Class, job: Job) {
         // the count.
         shared.stats.queries.fetch_add(1, Ordering::Relaxed);
         obs::inc("serve.queries");
-        // Account every byte/row/epoch this request costs; the finished
-        // profile is retained for the Profile control frame.
-        let cost = obs::cost::begin(trace_id);
-        let sent = match &job.request.body {
-            RequestBody::Explore {
-                attributes,
-                bbox,
-                window,
-            } => serve_explore(
-                shared,
-                &job.endpoint,
+        // The end-to-end budget runs from *admission*, not from pop:
+        // queue wait spends a request's deadline exactly like evaluation
+        // does. `deadline_ms == 0` means no deadline.
+        let deadline = job
+            .request
+            .body
+            .deadline_ms()
+            .filter(|&ms| ms > 0)
+            .map(|ms| job.queued_at + Duration::from_millis(ms));
+        let _budget = obs::budget::begin(deadline, job.cancel.clone());
+        // Evaluation is panic-isolated: a poison query ends as an Error
+        // terminal frame on its own connection; the worker, the shared
+        // locks and every other request keep going.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Account every byte/row/epoch this request costs; the
+            // finished profile is retained for the Profile control frame.
+            let cost = obs::cost::begin(trace_id);
+            let sent = match &job.request.body {
+                RequestBody::Explore {
+                    attributes,
+                    bbox,
+                    window,
+                    ..
+                } => serve_explore(
+                    shared,
+                    &job.endpoint,
+                    id,
+                    job.conn,
+                    attributes,
+                    *bbox,
+                    *window,
+                ),
+                RequestBody::Sql { window, sql, .. } => {
+                    serve_sql(shared, &job.endpoint, id, *window, sql)
+                }
+                RequestBody::Stats
+                | RequestBody::Trace { .. }
+                | RequestBody::Profile { .. }
+                | RequestBody::Cancel { .. } => {
+                    unreachable!("control frames are answered on the reader thread")
+                }
+            };
+            lock_sane(&shared.profiles).record(cost.finish());
+            // A send error means the client vanished mid-answer; nothing
+            // to do.
+            let _ = sent;
+        }));
+        if outcome.is_err() {
+            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            obs::inc("serve.panics");
+            obs::trace::instant_for(trace_id, "serve.panic_isolated", &[]);
+            let _ = job.endpoint.send_response(&Response {
                 id,
-                job.conn,
-                attributes,
-                *bbox,
-                *window,
-            ),
-            RequestBody::Sql { window, sql } => serve_sql(shared, &job.endpoint, id, *window, sql),
-            RequestBody::Stats | RequestBody::Trace { .. } | RequestBody::Profile { .. } => {
-                unreachable!("control frames are answered on the reader thread")
+                body: ResponseBody::Error {
+                    code: errcode::INTERNAL,
+                    message: "internal error: query evaluation panicked (isolated)".into(),
+                },
+            });
+        }
+        // File how the budget ended while the guard is still installed.
+        match obs::budget::interrupted() {
+            Some(Interrupt::Cancelled) => {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                obs::inc("serve.cancelled");
             }
-        };
-        shared.profiles.lock().unwrap().record(cost.finish());
-        // A send error means the client vanished mid-answer; nothing to
-        // do.
-        let _ = sent;
+            Some(Interrupt::DeadlineExceeded) => {
+                shared
+                    .stats
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                obs::inc("serve.deadline.expired");
+            }
+            None => {}
+        }
         // `_span` and `_trace` drop here: the request's span tree is
         // fully filed before the in-flight mark clears.
     }
-    shared.inflight.lock().unwrap().remove(&trace_id);
     let micros = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     match class {
         Class::Interactive => shared.lat_interactive.record(micros),
         Class::Scan => shared.lat_scan.record(micros),
     }
+    // `_inflight` drops last: settle-fences release only after the span
+    // tree, the profile and the latency sample have all landed.
 }
 
 /// Wait (bounded) until `trace_id` is no longer being served, so a
 /// `Trace`/`Profile` reply reflects the request's complete span tree and
 /// recorded profile. In the synchronous client pattern the awaited
 /// request has already sent its terminal frame, so this settles in
-/// microseconds; the bound keeps a worker stalled on a slow client from
+/// microseconds; the worker's in-flight guard wakes the condvar on every
+/// removal, and the bound keeps a worker stalled on a slow client from
 /// ever wedging the reader thread.
 fn await_settled(shared: &Shared, trace_id: u64) {
-    let deadline = Instant::now() + Duration::from_millis(50);
-    while shared.inflight.lock().unwrap().contains(&trace_id) {
-        if Instant::now() >= deadline {
-            return;
-        }
-        std::thread::yield_now();
-    }
+    shared
+        .inflight
+        .await_settled(trace_id, Duration::from_millis(50));
 }
 
 /// Answer an introspection frame in place (reader thread, no admission).
@@ -598,7 +806,7 @@ fn answer_control(shared: &Shared, ep: &Endpoint, request: &Request) -> Result<(
             let (qi, qs) = shared.queue.depths();
             let cache = shared.cache.stats();
             let (summary, recent) = {
-                let m = shared.monitor.lock().unwrap();
+                let m = lock_sane(&shared.monitor);
                 (m.summary(), m.recent())
             };
             let anomalies = recent
@@ -667,7 +875,7 @@ fn answer_control(shared: &Shared, ep: &Endpoint, request: &Request) -> Result<(
             if *trace_id != 0 {
                 await_settled(shared, *trace_id);
             }
-            let (resolved, metrics) = shared.profiles.lock().unwrap().lookup(*trace_id);
+            let (resolved, metrics) = lock_sane(&shared.profiles).lookup(*trace_id);
             ResponseBody::Profile(ProfileFrame {
                 trace_id: resolved,
                 metrics,
@@ -693,11 +901,24 @@ fn serve_explore(
     if window.0 > window.1 || bbox.0 > bbox.2 || bbox.1 > bbox.3 {
         return send_error(ep, id, errcode::BAD_REQUEST, "inverted window or bbox");
     }
+    // Chaos-drill poison query: panic inside evaluation, on purpose,
+    // to prove the worker's isolation boundary holds. Gated off by
+    // default; `CHAOS_PANIC_ATTRIBUTE` is otherwise an ordinary
+    // (unknown, hence empty) attribute name.
+    if shared.config.chaos_poison && attributes.iter().any(|a| a == CHAOS_PANIC_ATTRIBUTE) {
+        panic!("chaos drill: poison query requested a worker panic");
+    }
+    // Chaos-drill stall: model a slow storage tier under the evaluation,
+    // so a small nonzero deadline has deterministically expired by the
+    // first per-epoch checkpoint.
+    if shared.config.chaos_poison && attributes.iter().any(|a| a == CHAOS_STALL_ATTRIBUTE) {
+        std::thread::sleep(CHAOS_STALL);
+    }
     let attrs: Vec<&str> = attributes.iter().map(String::as_str).collect();
     let q = Query::new(&attrs, BoundingBox::new(bbox.0, bbox.1, bbox.2, bbox.3))
         .with_epoch_range(window.0, window.1);
     let result = {
-        let fw = shared.fw.read().unwrap();
+        let fw = read_sane(&shared.fw);
         let result = evaluate_cached(&fw, &shared.cache, &q);
         if shared.config.prefetch {
             prefetch(shared, conn, window, &fw);
@@ -747,7 +968,7 @@ fn serve_sql(
         return send_error(ep, id, errcode::BAD_REQUEST, "inverted window");
     }
     let outcome = {
-        let fw = shared.fw.read().unwrap();
+        let fw = read_sane(&shared.fw);
         let view = CachedView {
             fw: &fw,
             cache: &shared.cache,
@@ -866,12 +1087,17 @@ fn stream_exact(
 /// the window is contained in the session's previous one (zoom-in — the
 /// cache is already warm there).
 fn prefetch(shared: &Shared, conn: u64, window: (u32, u32), fw: &SpateFramework) {
+    // Speculation never spends a request's remaining budget: a request
+    // that was cancelled or ran out of deadline skips the warm-up.
+    if obs::budget::interrupted().is_some() {
+        return;
+    }
     let _span = obs::span("serve.prefetch");
     // Speculative work: collect its cost into a throwaway profile so the
     // triggering request's EXPLAIN ANALYZE shows only its own bytes.
     let _cost = obs::cost::begin(0);
     let contained = {
-        let mut sessions = shared.sessions.lock().unwrap();
+        let mut sessions = lock_sane(&shared.sessions);
         let prev = sessions.insert(conn, window);
         prev.is_some_and(|(a, b)| a <= window.0 && window.1 <= b)
     };
@@ -916,7 +1142,22 @@ fn evaluate_cached(fw: &SpateFramework, cache: &EpochCache, q: &Query) -> QueryR
             let mut arcs: Vec<Arc<Snapshot>> = Vec::with_capacity(leaves.len());
             let mut unavailable = 0u32;
             let traced = obs::trace::current().is_some();
-            for leaf in &leaves {
+            for (resolved, leaf) in leaves.iter().enumerate() {
+                // Cooperative budget checkpoint at every epoch boundary:
+                // on cancellation or deadline expiry, stop scanning and
+                // report everything unresolved as honestly unavailable —
+                // the caller answers Partial instead of overrunning.
+                if obs::budget::interrupted().is_some() {
+                    obs::inc("serve.scan.interrupted");
+                    if traced {
+                        obs::trace::event(
+                            "budget.interrupted",
+                            &[("epochs_left", &(leaves.len() - resolved).to_string())],
+                        );
+                    }
+                    unavailable += (leaves.len() - resolved) as u32;
+                    break;
+                }
                 if let Some(hit) = cache.get(leaf.epoch) {
                     heat.record_cache(leaf.epoch, true);
                     obs::cost::touch_epoch(u64::from(leaf.epoch.0));
@@ -995,6 +1236,13 @@ impl ExplorationFramework for CachedView<'_> {
     }
 
     fn load_epoch(&self, epoch: EpochId) -> Option<Snapshot> {
+        // Budget checkpoint on the SQL scan path: an interrupted request
+        // sees the remaining epochs as unavailable, the same degraded
+        // (never wrong, only narrower) answer the explore path gives.
+        if obs::budget::interrupted().is_some() {
+            obs::inc("serve.scan.interrupted");
+            return None;
+        }
         if let Some(hit) = self.cache.get(epoch) {
             self.fw.index().heat().record_cache(epoch, true);
             obs::cost::touch_epoch(u64::from(epoch.0));
@@ -1117,34 +1365,93 @@ impl ClientConn {
         }
     }
 
-    /// Run an exploration query `Q(a, b, w)`.
+    /// Run an exploration query `Q(a, b, w)` with no deadline.
     pub fn explore(
         &mut self,
         attributes: &[&str],
         bbox: BoundingBox,
         window: (u32, u32),
     ) -> Result<Reply, TransportError> {
+        self.explore_with_deadline(attributes, bbox, window, 0)
+    }
+
+    /// Run an exploration query under an end-to-end deadline measured
+    /// from admission; `deadline_ms == 0` means no deadline. An expired
+    /// deadline degrades the answer to a `Partial` with honest coverage
+    /// rather than an error.
+    pub fn explore_with_deadline(
+        &mut self,
+        attributes: &[&str],
+        bbox: BoundingBox,
+        window: (u32, u32),
+        deadline_ms: u64,
+    ) -> Result<Reply, TransportError> {
         let body = RequestBody::Explore {
             attributes: attributes.iter().map(|s| s.to_string()).collect(),
             bbox: (bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y),
             window,
+            deadline_ms,
         };
         self.roundtrip(body)
     }
 
-    /// Run a SPATE-SQL statement over a window.
+    /// Run a SPATE-SQL statement over a window, with no deadline.
     pub fn sql(&mut self, window: (u32, u32), sql: &str) -> Result<Reply, TransportError> {
+        self.sql_with_deadline(window, sql, 0)
+    }
+
+    /// Run a SPATE-SQL statement under an end-to-end deadline (see
+    /// [`ClientConn::explore_with_deadline`]).
+    pub fn sql_with_deadline(
+        &mut self,
+        window: (u32, u32),
+        sql: &str,
+        deadline_ms: u64,
+    ) -> Result<Reply, TransportError> {
         self.roundtrip(RequestBody::Sql {
             window,
             sql: sql.to_string(),
+            deadline_ms,
         })
     }
 
-    fn roundtrip(&mut self, body: RequestBody) -> Result<Reply, TransportError> {
+    /// Send a request without waiting for its answer; returns the
+    /// request id to pass to [`ClientConn::await_reply`]. This is how a
+    /// caller gets a request in flight so that a [`ClientConn::cancel`]
+    /// has something to interrupt.
+    pub fn send(&mut self, body: RequestBody) -> Result<u64, TransportError> {
         self.next_id += 1;
         let id = self.next_id;
         self.ep.send_request(&Request { id, body })?;
+        Ok(id)
+    }
 
+    /// Fire-and-forget cancellation of an earlier request by its id.
+    /// There is no reply: the cancelled request still terminates through
+    /// its ordinary terminal frame (typically `Partial` coverage). A
+    /// target that already finished (or never existed) is a no-op.
+    pub fn cancel(&mut self, target: u64) -> Result<(), TransportError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.ep.send_request(&Request {
+            id,
+            body: RequestBody::Cancel { target },
+        })
+    }
+
+    /// Inject raw bytes into the server-bound stream (chaos drills:
+    /// malformed frames, half-frames, garbage).
+    pub fn send_raw(&self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.ep.send_bytes(bytes)
+    }
+
+    fn roundtrip(&mut self, body: RequestBody) -> Result<Reply, TransportError> {
+        let id = self.send(body)?;
+        self.await_reply(id)
+    }
+
+    /// Collect frames until request `id`'s terminal frame arrives.
+    pub fn await_reply(&mut self, id: u64) -> Result<Reply, TransportError> {
         let mut tables: Vec<TableHeader> = Vec::new();
         let mut rows: Vec<Vec<Vec<telco_trace::record::Value>>> = Vec::new();
         let mut coverage: Option<Coverage> = None;

@@ -228,6 +228,7 @@ mod tests {
             body: RequestBody::Sql {
                 window: (0, 3),
                 sql: "SELECT COUNT(*) FROM CDR".into(),
+                deadline_ms: 0,
             },
         };
         client.send_request(&req).unwrap();
@@ -253,6 +254,7 @@ mod tests {
             body: RequestBody::Sql {
                 window: (0, 0),
                 sql: "SELECT 1".into(),
+                deadline_ms: 0,
             },
         }
         .encode();

@@ -62,6 +62,7 @@ proptest! {
         dy in 0.0f64..100_000.0,
         w0 in 0u32..50_000,
         len in 0u32..2_000,
+        deadline_ms in any::<u64>(),
     ) {
         let req = Request {
             id,
@@ -69,6 +70,7 @@ proptest! {
                 attributes: attrs.iter().map(|a| word(a)).collect(),
                 bbox: (x0, y0, x0 + dx, y0 + dy),
                 window: (w0, w0 + len),
+                deadline_ms,
             },
         };
         roundtrip_request(&req);
@@ -80,12 +82,14 @@ proptest! {
         sql_bytes in proptest::collection::vec(any::<u8>(), 0..400),
         w0 in 0u32..50_000,
         len in 0u32..2_000,
+        deadline_ms in any::<u64>(),
     ) {
         let req = Request {
             id,
             body: RequestBody::Sql {
                 window: (w0, w0 + len),
                 sql: word(&sql_bytes),
+                deadline_ms,
             },
         };
         roundtrip_request(&req);
@@ -161,7 +165,7 @@ proptest! {
     ) {
         let bytes = Request {
             id,
-            body: RequestBody::Sql { window: (w0, w0), sql: word(&sql_bytes) },
+            body: RequestBody::Sql { window: (w0, w0), sql: word(&sql_bytes), deadline_ms: 0 },
         }
         .encode();
         for cut in 0..bytes.len() {
@@ -176,7 +180,7 @@ proptest! {
     ) {
         let mut bytes = Request {
             id,
-            body: RequestBody::Sql { window: (0, 0), sql: "SELECT 1".into() },
+            body: RequestBody::Sql { window: (0, 0), sql: "SELECT 1".into(), deadline_ms: 0 },
         }
         .encode();
         let forged = (MAX_PAYLOAD as u32).saturating_add(extra);
@@ -203,12 +207,12 @@ proptest! {
     fn introspection_requests_round_trip(
         id in any::<u64>(),
         trace_id in any::<u64>(),
-        stats in any::<bool>(),
+        pick in 0u8..3,
     ) {
-        let body = if stats {
-            RequestBody::Stats
-        } else {
-            RequestBody::Trace { trace_id }
+        let body = match pick {
+            0 => RequestBody::Stats,
+            1 => RequestBody::Trace { trace_id },
+            _ => RequestBody::Cancel { target: trace_id },
         };
         roundtrip_request(&Request { id, body });
     }
@@ -287,13 +291,13 @@ proptest! {
 
     #[test]
     fn garbage_payloads_behind_valid_headers_never_panic(
-        kind_pick in 0usize..14,
+        kind_pick in 0usize..15,
         payload in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
         let kinds = [
             kind::EXPLORE, kind::SQL, kind::HEADER, kind::ROW_CHUNK, kind::SUMMARY,
             kind::COVERAGE, kind::DONE, kind::ERROR, kind::SHED, kind::UNAVAILABLE,
-            kind::STATS, kind::TRACE, kind::STATS_REPLY, kind::TRACE_REPLY,
+            kind::STATS, kind::TRACE, kind::STATS_REPLY, kind::TRACE_REPLY, kind::CANCEL,
         ];
         let k = kinds[kind_pick];
         // Both decoders must handle any payload under any valid kind
@@ -312,7 +316,7 @@ proptest! {
     ) {
         let mut bytes = Request {
             id,
-            body: RequestBody::Sql { window: (3, 9), sql: word(&sql_bytes) },
+            body: RequestBody::Sql { window: (3, 9), sql: word(&sql_bytes), deadline_ms: 0 },
         }
         .encode();
         let at = (flip_at as usize) % bytes.len();
@@ -331,6 +335,7 @@ fn exact_header_sized_input_is_still_truncated_without_payload() {
         body: RequestBody::Sql {
             window: (0, 0),
             sql: "x".into(),
+            deadline_ms: 0,
         },
     };
     let bytes = req.encode();
